@@ -1,0 +1,18 @@
+"""Benchmark-suite plumbing: output directory and result persistence."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "repro_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_text(results_dir, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print("\n" + text)

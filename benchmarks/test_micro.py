@@ -1,0 +1,11 @@
+"""Section 5.1 platform microbenchmarks on the simulated cluster."""
+
+from benchmarks.conftest import save_text
+from repro.bench.micro import render, run_all
+
+
+def test_micro(benchmark, results_dir):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_text(results_dir, "micro.txt", render(results))
+    for r in results:
+        assert r.in_range, (r.name, r.measured_us)

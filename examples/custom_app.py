@@ -1,0 +1,96 @@
+"""Writing your own application against the library.
+
+Implements a parallel histogram (a workload NOT in the paper) as an
+``Application`` subclass: each processor bins its block of samples into
+a private region of a shared histogram matrix, then processor 0 reduces.
+Registering it makes the whole harness machinery (unit sweeps, the
+cache, correctness checks against a sequential reference) available for
+free.
+
+    python examples/custom_app.py
+"""
+
+import numpy as np
+
+from repro.apps.base import Application, AppRegistry, run_app
+from repro.core.proc import Proc
+from repro.core.treadmarks import TreadMarks
+from repro.sim.config import SimConfig
+
+NBINS = 256
+
+
+def _samples(n: int) -> np.ndarray:
+    rng = np.random.default_rng(2024)
+    return rng.integers(0, NBINS, size=n).astype(np.int32)
+
+
+@AppRegistry.register
+class Histogram(Application):
+    """Per-processor partial histograms + master reduction."""
+
+    name = "Histogram"
+    checksum_rtol = 0.0
+
+    datasets = {
+        "1M": {"nsamples": 1 << 20},
+        "4M": {"nsamples": 1 << 22},
+    }
+
+    def heap_bytes(self, dataset: str) -> int:
+        return 8 * NBINS * 4 + NBINS * 4 + 65536
+
+    def setup(self, tmk: TreadMarks, dataset: str) -> dict:
+        return {
+            # One row of bins per processor: private regions, but rows of
+            # 1 KB share pages -- false sharing you can measure!
+            "partial": tmk.array("partial", (8, NBINS), "int32"),
+            "result": tmk.array("result", (NBINS,), "int32"),
+        }
+
+    def worker(self, proc: Proc, handles: dict, params: dict) -> float:
+        partial, result = handles["partial"], handles["result"]
+        n = params["nsamples"]
+        lo, hi = self.block_range(n, proc.nprocs, proc.id)
+        counts = np.bincount(_samples(n)[lo:hi], minlength=NBINS).astype(np.int32)
+        proc.compute(flops=2 * (hi - lo))
+        partial.write_row(proc, proc.id, counts)
+        proc.barrier()
+        if proc.id == 0:
+            total = np.zeros(NBINS, dtype=np.int64)
+            for p in range(proc.nprocs):
+                total += partial.read_row(proc, p)
+            proc.compute(flops=proc.nprocs * NBINS)
+            result.write(proc, 0, total.astype(np.int32))
+        proc.barrier()
+        checksum = float((result.read(proc, 0, NBINS).astype(np.int64) ** 2).sum())
+        proc.barrier()
+        return checksum
+
+    def reference(self, dataset: str) -> float:
+        n = self.params(dataset)["nsamples"]
+        total = np.bincount(_samples(n), minlength=NBINS).astype(np.int64)
+        return float((total**2).sum())
+
+
+def main() -> None:
+    app = Histogram()
+    ref = app.reference("1M")
+    print(f"sequential reference checksum: {ref:.0f}\n")
+    for label, cfg in [
+        ("4K", SimConfig(nprocs=8, unit_pages=1)),
+        ("16K", SimConfig(nprocs=8, unit_pages=4)),
+        ("Dyn", SimConfig(nprocs=8, dynamic=True)),
+    ]:
+        res = run_app(app, "1M", cfg)
+        ok = "ok" if res.checksum == ref else "MISMATCH"
+        print(f"{label:>4}: time={res.time_us / 1e3:8.2f} ms  "
+              f"messages={res.comm.total_messages:4d}  "
+              f"useless={res.comm.useless_messages:3d}  checksum {ok}")
+    print("\nThe 8 partial rows (1 KB each) pack 4 rows per 4 KB page, so the "
+          "master's\nreduction faults pull multi-writer diffs -- your own "
+          "false sharing, measured\nthe paper's way.")
+
+
+if __name__ == "__main__":
+    main()

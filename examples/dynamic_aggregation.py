@@ -1,0 +1,73 @@
+"""Watching the Section-4 dynamic aggregation algorithm at work.
+
+Builds a producer/consumer workload where one processor repeatedly reads
+eight (non-contiguous!) pages written by another.  With static 4 KB
+pages every round pays eight faults and eight exchanges; the dynamic
+scheme observes the first round's access pattern, groups the pages, and
+from round two on fetches all eight diffs with ONE fault and ONE
+combined exchange.
+
+    python examples/dynamic_aggregation.py
+"""
+
+import numpy as np
+
+from repro.core import SimConfig, TreadMarks
+
+ROUNDS = 6
+#: Eight non-contiguous pages (every second page of a 16-page region):
+#: static aggregation could never cover them without fetching the holes.
+PAGES = [0, 2, 4, 6, 8, 10, 12, 14]
+
+
+def run(config: SimConfig):
+    tmk = TreadMarks(config, heap_bytes=1 << 18)
+    arr = tmk.array("a", (16 * 1024,), dtype="uint32")
+
+    def worker(proc) -> float:
+        total = 0.0
+        for r in range(ROUNDS):
+            if proc.id == 0:
+                for p in PAGES:
+                    arr.write(proc, p * 1024, np.full(256, r + 1, np.uint32))
+            proc.barrier(2 * r)
+            if proc.id == 1:
+                for p in PAGES:
+                    total += float(arr.read(proc, p * 1024, 256).sum())
+            proc.barrier(2 * r + 1)
+        return total
+
+    res = tmk.run(worker)
+    reader_faults = [
+        f for f in res.stats.fault_records if f.proc == 1 and not f.monitoring
+    ]
+    return res, reader_faults
+
+
+def main() -> None:
+    for label, cfg in [
+        ("static 4K", SimConfig(nprocs=2, unit_pages=1)),
+        ("static 16K", SimConfig(nprocs=2, unit_pages=4)),
+        ("dynamic", SimConfig(nprocs=2, dynamic=True, max_group_pages=8)),
+    ]:
+        res, faults = run(cfg)
+        per_round = {}
+        for f in faults:
+            per_round.setdefault(int(f.time_us // 1), None)
+        sizes = [len(f.units) for f in faults]
+        print(f"{label:>10}: time={res.time_us / 1e3:7.2f} ms  "
+              f"messages={res.comm.total_messages:4d}  "
+              f"reader data faults={len(faults):3d}  "
+              f"fault sizes={sizes[:10]}{'...' if len(sizes) > 10 else ''}  "
+              f"monitoring faults={res.stats.monitoring_faults}")
+    print(
+        "\nReading: static 16K fetches 4-page units, but the written pages "
+        "are\nalternating, so half of every unit is useless data.  The "
+        "dynamic scheme\ngroups exactly the eight written pages after the "
+        "first round -- one fault,\none combined exchange per round, no "
+        "useless data, at the price of the\nmonitoring faults."
+    )
+
+
+if __name__ == "__main__":
+    main()

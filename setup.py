@@ -1,0 +1,7 @@
+"""Shim so that legacy (non-PEP-517) editable installs work in offline
+environments without the ``wheel`` package: ``pip install -e . --no-build-isolation``.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""The paper's application suite, ported to the simulated DSM.
+
+Eight applications (Section 5.2): Barnes and Water (SPLASH), 3D-FFT
+(NAS), Ilink (genetic linkage analysis; reproduced synthetically -- see
+DESIGN.md), Shallow (NCAR), and the MGS, Jacobi, and TSP kernels.
+
+Each application module defines a subclass of
+:class:`repro.apps.base.Application` exposing the paper's datasets
+(scaled to simulator size while preserving the access-granularity /
+page-size ratios the paper's analysis depends on), a DSM worker, and a
+pure-numpy sequential reference used by the correctness tests.
+"""
+
+from repro.apps.base import Application, AppRegistry, get_app, run_app
+from repro.apps.jacobi import Jacobi
+from repro.apps.mgs import MGS
+from repro.apps.fft3d import FFT3D
+from repro.apps.shallow import Shallow
+from repro.apps.barnes import Barnes
+from repro.apps.water import Water
+from repro.apps.ilink import Ilink
+from repro.apps.tsp import TSP
+
+__all__ = [
+    "Application",
+    "AppRegistry",
+    "get_app",
+    "run_app",
+    "Jacobi",
+    "MGS",
+    "FFT3D",
+    "Shallow",
+    "Barnes",
+    "Water",
+    "Ilink",
+    "TSP",
+]

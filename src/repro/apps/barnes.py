@@ -1,0 +1,368 @@
+"""Barnes: Barnes-Hut hierarchical N-body simulation (Section 5.5;
+SPLASH).
+
+Structure, as described in the paper:
+
+* the **tree is built sequentially by the master processor**, which
+  reads essentially the entire body array (fine-grained, one record per
+  body) and writes the cell array;
+* the **force computation is parallel**: bodies live in Morton (tree)
+  order and each processor owns a contiguous chunk, standing in for
+  SPLASH's cost-zone partition.  Fine-grained per-body writes cause
+  write-write false sharing on the pages where partitions meet, but the
+  extensive true sharing (traversals read bodies and cells all over the
+  space) keeps useless messages few: false sharing shows up mostly as
+  useless *data*;
+* reads and writes are fine-grained (individual particle records), but
+  each processor touches a large region of the shared body/cell space,
+  which is why static aggregation pays off (Figure 1).
+
+The octree build and the force traversal are pure functions shared with
+the sequential reference, so the DSM run is bitwise comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application, AppRegistry
+from repro.core.proc import Proc
+from repro.core.treadmarks import TreadMarks
+
+#: float32 words per body record: pos[0:3] vel[3:6] acc[6:9] mass[9] pad.
+BODY_REC = 16
+#: float32 words per cell record: com[0:3] mass[3] size[4] pad[5:8]
+#: children[8:16] (0 empty, +i cell i-1, -j body j-1).
+CELL_REC = 16
+
+THETA2 = np.float32(0.49)  # theta = 0.7
+EPS2 = np.float32(0.05)
+DT = np.float32(0.002)
+
+
+def _morton_keys(pos: np.ndarray) -> np.ndarray:
+    """Morton (Z-order) keys of 3-D positions, 10 bits per axis."""
+    q = np.clip((pos / pos.max() * 1023.0).astype(np.int64), 0, 1023)
+    keys = np.zeros(pos.shape[0], dtype=np.int64)
+    for bit in range(10):
+        for axis in range(3):
+            keys |= ((q[:, axis] >> bit) & 1) << (3 * bit + axis)
+    return keys
+
+
+def _initial_bodies(n: int) -> np.ndarray:
+    """Deterministic bodies, stored in Morton order: SPLASH Barnes keeps
+    the body array in tree order, so contiguous index ranges are spatial
+    clusters and the costzone partition owns whole pages (write-write
+    false sharing concentrates at partition boundaries)."""
+    rng = np.random.default_rng(99)
+    b = np.zeros((n, BODY_REC), dtype=np.float32)
+    b[:, 0:3] = rng.uniform(0.0, 100.0, size=(n, 3)).astype(np.float32)
+    b[:, 3:6] = rng.standard_normal((n, 3)).astype(np.float32) * 0.1
+    b[:, 9] = np.float32(1.0)
+    order = np.argsort(_morton_keys(b[:, 0:3]), kind="stable")
+    return b[order]
+
+
+# ----------------------------------------------------------------------
+# Octree build (pure; used by the master worker and by the reference)
+# ----------------------------------------------------------------------
+#: Leaf bucket capacity (SPLASH-style multi-body leaves; also bounded by
+#: the 8 child slots of the serialized cell record).
+BUCKET = 8
+
+
+class _Node:
+    __slots__ = ("cx", "cy", "cz", "size", "bodies")
+
+    def __init__(self, cx: float, cy: float, cz: float, size: float) -> None:
+        self.cx, self.cy, self.cz, self.size = cx, cy, cz, size
+        self.bodies: List[int] = []  # leaf contents until split
+
+
+def build_tree(pos: np.ndarray, mass: np.ndarray) -> np.ndarray:
+    """Build the Barnes-Hut octree over positions; returns the serialized
+    cell array ((ncells, CELL_REC) float32)."""
+    n = pos.shape[0]
+    lo = pos.min(axis=0)
+    hi = pos.max(axis=0)
+    center = (lo + hi) / 2.0
+    size = float((hi - lo).max()) * 1.001 + 1e-6
+
+    nodes: List[_Node] = [_Node(center[0], center[1], center[2], size)]
+    slots: List[Dict[int, int]] = [{}]  # node -> octant -> child node id
+
+    def octant(node: _Node, p) -> int:
+        return (
+            (1 if p[0] >= node.cx else 0)
+            | (2 if p[1] >= node.cy else 0)
+            | (4 if p[2] >= node.cz else 0)
+        )
+
+    def child_center(node: _Node, o: int) -> Tuple[float, float, float, float]:
+        q = node.size / 4.0
+        return (
+            node.cx + (q if o & 1 else -q),
+            node.cy + (q if o & 2 else -q),
+            node.cz + (q if o & 4 else -q),
+            node.size / 2.0,
+        )
+
+    def insert(nid: int, j: int) -> None:
+        while True:
+            node = nodes[nid]
+            if not slots[nid]:  # leaf
+                if len(node.bodies) < BUCKET:
+                    node.bodies.append(j)
+                    return
+                spill = node.bodies
+                node.bodies = []
+                for b in spill:
+                    _descend_new(nid, b)
+                # fall through: continue inserting j below
+            o = octant(node, pos[j])
+            if o not in slots[nid]:
+                cx, cy, cz, s = child_center(node, o)
+                nodes.append(_Node(cx, cy, cz, s))
+                slots.append({})
+                slots[nid][o] = len(nodes) - 1
+            nid = slots[nid][o]
+
+    def _descend_new(nid: int, j: int) -> None:
+        o = octant(nodes[nid], pos[j])
+        if o not in slots[nid]:
+            cx, cy, cz, s = child_center(nodes[nid], o)
+            nodes.append(_Node(cx, cy, cz, s))
+            slots.append({})
+            slots[nid][o] = len(nodes) - 1
+        insert(slots[nid][o], j)
+
+    for j in range(n):
+        insert(0, j)
+
+    # Serialize pre-order; compute centers of mass bottom-up via the
+    # serialization recursion.
+    cells = np.zeros((len(nodes), CELL_REC), dtype=np.float32)
+    order: Dict[int, int] = {}
+
+    def assign(nid: int) -> int:
+        cid = len(order)
+        order[nid] = cid
+        for o in sorted(slots[nid]):
+            assign(slots[nid][o])
+        return cid
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        assign(0)
+
+        def fill(nid: int) -> Tuple[np.ndarray, np.float32]:
+            cid = order[nid]
+            node = nodes[nid]
+            com = np.zeros(3, dtype=np.float32)
+            m = np.float32(0.0)
+            ci = 0
+            for b in node.bodies:
+                cells[cid, 8 + ci] = np.float32(-(b + 1))
+                ci += 1
+                com = com + pos[b].astype(np.float32) * mass[b]
+                m = m + np.float32(mass[b])
+            for o in sorted(slots[nid]):
+                child = slots[nid][o]
+                ccom, cm = fill(child)
+                cells[cid, 8 + ci] = np.float32(order[child] + 1)
+                ci += 1
+                com = com + ccom * cm
+                m = m + cm
+            if m > 0:
+                com = (com / m).astype(np.float32)
+            cells[cid, 0:3] = com
+            cells[cid, 4] = np.float32(node.size)
+            cells[cid, 3] = m
+            return com, m
+
+        fill(0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Force traversal (pure)
+# ----------------------------------------------------------------------
+def force_on(
+    i: int,
+    pos_i: np.ndarray,
+    read_cell: Callable[[int], np.ndarray],
+    read_body: Callable[[int], np.ndarray],
+) -> Tuple[np.ndarray, int]:
+    """Barnes-Hut acceleration on body ``i``; returns (acc, ninteractions).
+
+    ``read_cell(cid)`` and ``read_body(j)`` fetch records (from shared
+    memory in the DSM run, from plain arrays in the reference)."""
+    acc = np.zeros(3, dtype=np.float32)
+    inter = 0
+    stack = [0]
+    while stack:
+        cid = stack.pop()
+        cell = read_cell(cid)
+        d = cell[0:3] - pos_i
+        r2 = np.float32((d * d).sum()) + EPS2
+        if cell[4] * cell[4] < THETA2 * r2:
+            inv = np.float32(1.0) / np.float32(np.sqrt(float(r2)))
+            acc = acc + d * (cell[3] * inv * inv * inv)
+            inter += 1
+            continue
+        for s in range(8, 16):
+            ref = int(cell[s])
+            if ref == 0:
+                continue
+            if ref > 0:
+                stack.append(ref - 1)
+            else:
+                j = -ref - 1
+                if j == i:
+                    continue
+                body = read_body(j)
+                db = body[0:3] - pos_i
+                rb2 = np.float32((db * db).sum()) + EPS2
+                inv = np.float32(1.0) / np.float32(np.sqrt(float(rb2)))
+                acc = acc + db * (body[9] * inv * inv * inv)
+                inter += 1
+    return acc.astype(np.float32), inter
+
+
+#: Flops charged per gravitational interaction.
+FLOPS_PER_INTERACTION = 60
+
+
+def _owned(n: int, nprocs: int, pid: int) -> List[int]:
+    """Costzone-style partition: a contiguous range of the Morton-ordered
+    body array (a contiguous chunk of the tree walk)."""
+    lo, hi = Application.block_range(n, nprocs, pid)
+    return list(range(lo, hi))
+
+
+@AppRegistry.register
+class Barnes(Application):
+    """Barnes-Hut with master tree build and cyclic body partition."""
+
+    name = "Barnes"
+    checksum_rtol = 1e-4
+
+    datasets = {
+        # Paper: 16K bodies; scaled for simulator runtime.  1080 bodies
+        # (not a multiple of 64 bodies/page) keeps the partition
+        # boundaries inside pages, preserving the boundary write-write
+        # false sharing of the original.
+        "16K": {"n": 1080, "iters": 2, "max_cells": 4096},
+    }
+
+    def heap_bytes(self, dataset: str) -> int:
+        p = self.params(dataset)
+        return (p["n"] * BODY_REC + p["max_cells"] * CELL_REC) * 4 + 65536
+
+    def setup(self, tmk: TreadMarks, dataset: str) -> dict:
+        p = self.params(dataset)
+        return {
+            "bodies": tmk.array("bodies", (p["n"], BODY_REC), "float32"),
+            "cells": tmk.array("cells", (p["max_cells"], CELL_REC), "float32"),
+            "meta": tmk.array("meta", (16,), "int32"),
+        }
+
+    # ------------------------------------------------------------------
+    def worker(self, proc: Proc, handles: dict, params: dict) -> float:
+        bodies, cells, meta = handles["bodies"], handles["cells"], handles["meta"]
+        n, iters = params["n"], params["iters"]
+        mine = _owned(n, proc.nprocs, proc.id)
+
+        # Distributed initialization: owners write their body ranges.
+        init = _initial_bodies(n)
+        if mine:
+            bodies.write_rows(proc, mine[0], init[mine[0] : mine[-1] + 1])
+        proc.barrier()
+
+        for _ in range(iters):
+            # ---- Master builds the tree, reading every body record
+            # fine-grained, then writes the serialized cells.
+            if proc.id == 0:
+                pos = np.empty((n, 3), dtype=np.float32)
+                mass = np.empty(n, dtype=np.float32)
+                for j in range(n):
+                    rec = bodies.read(proc, (j, 0), 10)
+                    pos[j] = rec[0:3]
+                    mass[j] = rec[9]
+                tree = build_tree(pos, mass)
+                if tree.shape[0] > params["max_cells"]:
+                    raise RuntimeError(
+                        f"tree needs {tree.shape[0]} cells, "
+                        f"max_cells={params['max_cells']}"
+                    )
+                proc.compute(us=15.0 * n)  # sequential build work
+                for cid in range(tree.shape[0]):
+                    cells.write_row(proc, cid, tree[cid])
+                meta.write(proc, 0, np.array([tree.shape[0]], np.int32))
+            proc.barrier()
+
+            # ---- Parallel force computation over the cyclic partition.
+            cell_cache: Dict[int, np.ndarray] = {}
+            body_cache: Dict[int, np.ndarray] = {}
+
+            def read_cell(cid: int) -> np.ndarray:
+                if cid not in cell_cache:
+                    cell_cache[cid] = cells.read_row(proc, cid)
+                return cell_cache[cid]
+
+            def read_body(j: int) -> np.ndarray:
+                if j not in body_cache:
+                    body_cache[j] = bodies.read(proc, (j, 0), 10)
+                return body_cache[j]
+
+            for i in mine:
+                rec = read_body(i).copy()
+                acc, inter = force_on(i, rec[0:3], read_cell, read_body)
+                proc.compute(flops=inter * FLOPS_PER_INTERACTION)
+                bodies.write(proc, (i, 6), acc)  # fine-grained acc write
+            proc.barrier()
+
+            # ---- Update phase: owners integrate their bodies.
+            for i in mine:
+                rec = bodies.read_row(proc, i)
+                rec[3:6] = rec[3:6] + rec[6:9] * DT
+                rec[0:3] = rec[0:3] + rec[3:6] * DT
+                proc.compute(flops=12)
+                bodies.write(proc, (i, 0), rec[0:6])
+            proc.barrier()
+
+        local = 0.0
+        for i in mine:
+            rec = bodies.read(proc, (i, 0), 9)
+            local += float(np.abs(rec).astype(np.float64).sum())
+        return self.collect_checksum(proc, handles, local)
+
+    # ------------------------------------------------------------------
+    def reference(self, dataset: str) -> float:
+        p = self.params(dataset)
+        n, iters = p["n"], p["iters"]
+        b = _initial_bodies(n)
+        for _ in range(iters):
+            tree = build_tree(b[:, 0:3].copy(), b[:, 9].copy())
+
+            def read_cell(cid: int) -> np.ndarray:
+                return tree[cid]
+
+            def read_body(j: int) -> np.ndarray:
+                return b[j, 0:10]
+
+            acc = np.zeros((n, 3), dtype=np.float32)
+            for i in range(n):
+                acc[i], _ = force_on(i, b[i, 0:3].copy(), read_cell, read_body)
+            b[:, 6:9] = acc
+            b[:, 3:6] = b[:, 3:6] + b[:, 6:9] * DT
+            b[:, 0:3] = b[:, 0:3] + b[:, 3:6] * DT
+        return float(np.abs(b[:, 0:9]).astype(np.float64).sum())

@@ -1,0 +1,135 @@
+"""Common application scaffolding.
+
+An :class:`Application` bundles:
+
+* named *datasets* (problem sizes).  The keys follow the paper's Table 1
+  labels; the actual dimensions are scaled down for simulator runtime
+  but chosen to preserve the paper-relevant ratios of access granularity
+  to page size (see each module's docstring and DESIGN.md section 2);
+* :meth:`setup`, which allocates the shared arrays on a fresh
+  :class:`TreadMarks` runtime;
+* :meth:`worker`, the per-processor program (must return a float
+  checksum on processor 0);
+* :meth:`reference`, a pure-numpy sequential implementation producing
+  the same checksum -- the correctness oracle.
+
+``run_app(app, dataset, config)`` is the single entry point used by
+tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.core.proc import Proc
+from repro.core.treadmarks import TreadMarks
+from repro.sim.config import SimConfig
+from repro.stats.report import RunResult
+
+
+class Application:
+    """Base class for the eight paper applications."""
+
+    #: Application name as used in the paper's tables and figures.
+    name: str = ""
+
+    #: dataset label -> parameter dict; subclasses fill this in.
+    datasets: Dict[str, dict] = {}
+
+    #: Relative tolerance for checksum comparison across configurations
+    #: (lock-order-dependent floating-point reduction order may differ).
+    checksum_rtol: float = 1e-5
+
+    def heap_bytes(self, dataset: str) -> int:
+        """Shared heap size needed for ``dataset``."""
+        raise NotImplementedError
+
+    def setup(self, tmk: TreadMarks, dataset: str) -> dict:
+        """Allocate shared arrays; returns the handle dict passed to
+        every worker."""
+        raise NotImplementedError
+
+    def worker(self, proc: Proc, handles: dict, params: dict) -> float:
+        """The per-processor program; returns the checksum."""
+        raise NotImplementedError
+
+    def reference(self, dataset: str) -> float:
+        """Sequential pure-numpy oracle for the checksum."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def params(self, dataset: str) -> dict:
+        """Parameter dict of a dataset label."""
+        if dataset not in self.datasets:
+            raise KeyError(
+                f"{self.name} has no dataset {dataset!r}; "
+                f"available: {sorted(self.datasets)}"
+            )
+        return dict(self.datasets[dataset])
+
+    @staticmethod
+    def collect_checksum(proc: Proc, handles: dict, local: float) -> float:
+        """Deterministically reduce per-processor checksum partials.
+
+        Uses an out-of-band Python list rather than shared memory so the
+        verification artifact does not perturb the measured protocol
+        traffic (safe: the engine runs one processor at a time)."""
+        partials = handles.setdefault("_partials", {})
+        partials[proc.id] = float(local)
+        proc.barrier(barrier_id=990)
+        return float(sum(partials[p] for p in sorted(partials)))
+
+    @classmethod
+    def block_range(cls, total: int, nprocs: int, pid: int) -> tuple:
+        """[lo, hi) of a contiguous block partition of ``total`` items."""
+        base, extra = divmod(total, nprocs)
+        lo = pid * base + min(pid, extra)
+        hi = lo + base + (1 if pid < extra else 0)
+        return lo, hi
+
+
+class AppRegistry:
+    """Registry of all application classes, keyed by name."""
+
+    _apps: Dict[str, Type[Application]] = {}
+
+    @classmethod
+    def register(cls, app_cls: Type[Application]) -> Type[Application]:
+        if not app_cls.name:
+            raise ValueError(f"{app_cls.__name__} has no name")
+        cls._apps[app_cls.name] = app_cls
+        return app_cls
+
+    @classmethod
+    def names(cls) -> List[str]:
+        return sorted(cls._apps)
+
+    @classmethod
+    def get(cls, name: str) -> Application:
+        if name not in cls._apps:
+            raise KeyError(f"unknown application {name!r}; have {cls.names()}")
+        return cls._apps[name]()
+
+
+def get_app(name: str) -> Application:
+    """Instantiate an application by its paper name."""
+    return AppRegistry.get(name)
+
+
+def run_app(
+    app: Application, dataset: str, config: SimConfig
+) -> RunResult:
+    """Run one application dataset under one DSM configuration."""
+    params = app.params(dataset)
+    tmk = TreadMarks(
+        config,
+        heap_bytes=app.heap_bytes(dataset),
+        app_name=app.name,
+        dataset=dataset,
+    )
+    handles = app.setup(tmk, dataset)
+
+    def body(proc: Proc) -> float:
+        return app.worker(proc, handles, params)
+
+    return tmk.run(body)

@@ -1,0 +1,159 @@
+"""Ilink: genetic linkage analysis -- synthetic sharing-pattern
+reproduction (Section 5.5).
+
+The real Ilink is a large genetics code with proprietary pedigree
+inputs; what the paper's analysis rests on is its *sharing pattern*,
+which this workload reproduces (see DESIGN.md, substitution table):
+
+* the pool of sparse *genarrays* lives in shared memory as interleaved
+  per-processor blocks assigned round-robin (the master's non-zero
+  assignment): every page of the pool is written by every processor,
+  fine-grained -- extensive write-write false sharing;
+* each block is half *likelihood values* and half *per-element scratch*
+  (the sparse-bookkeeping the paper's genarrays carry).  Every
+  processor reads the **value** halves of every block (very small read
+  granularity, every page accessed by everyone); nobody reads scratch
+  remotely.  Every diff therefore mixes read and unread words: false
+  sharing appears as **piggybacked useless data on useful messages**
+  with almost no useless messages, exactly the paper's Ilink profile;
+* the master additionally sums all values and publishes per-array
+  totals in a master-only *results* block that slaves read --
+  single-writer faults, giving the ``1`` spike of the false-sharing
+  signature next to the ``7`` spike from the pool reads (Figure 3);
+* because everyone already touches every page at 4 KB, larger units add
+  aggregation without new false sharing: the signature is invariant and
+  performance improves monotonically (Figures 1 and 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, AppRegistry
+from repro.core.proc import Proc
+from repro.core.treadmarks import TreadMarks
+
+
+def _contribution(g: int, idx: np.ndarray, it: int) -> np.ndarray:
+    """Deterministic float32 likelihood contribution per element."""
+    x = (idx.astype(np.float32) * np.float32(0.001)
+         + np.float32(g * 0.1) + np.float32(it))
+    return (np.sin(x) * np.float32(0.5)).astype(np.float32)
+
+
+@AppRegistry.register
+class Ilink(Application):
+    """Master/slave sparse-genarray pool workload."""
+
+    name = "ILINK"
+    checksum_rtol = 1e-4
+
+    datasets = {
+        # Paper input 'CLP' (2x4x4x4 loci).  length is in words; a block
+        # is 2*stride words (stride values + stride scratch).
+        "CLP": {"narrays": 8, "length": 2048, "iters": 3, "stride": 4},
+    }
+
+    def heap_bytes(self, dataset: str) -> int:
+        p = self.params(dataset)
+        return p["narrays"] * p["length"] * 4 + 65536
+
+    def setup(self, tmk: TreadMarks, dataset: str) -> dict:
+        p = self.params(dataset)
+        return {
+            "pool": tmk.array("pool", (p["narrays"], p["length"]), "float32"),
+            "results": tmk.array("results", (p["narrays"],), "float32"),
+        }
+
+    # ------------------------------------------------------------------
+    def worker(self, proc: Proc, handles: dict, params: dict) -> float:
+        pool, results = handles["pool"], handles["results"]
+        G, L, iters = params["narrays"], params["length"], params["iters"]
+        stride = params["stride"]
+        block = 2 * stride
+        nblocks = L // block
+        P = proc.nprocs
+        checksum = 0.0
+
+        proc.barrier()
+        for it in range(iters):
+            # ---- Work phase.  Read the published totals, then walk
+            # every genarray: read the value half of every block (tiny
+            # reads, every page), update own blocks (values + scratch).
+            if it > 0:
+                res = results.read(proc, 0, G).astype(np.float32)
+            else:
+                res = np.zeros(G, dtype=np.float32)
+            for g in range(G):
+                acc = np.float32(0.0)
+                for b in range(nblocks):
+                    base = b * block
+                    vals = pool.read(proc, (g, base), stride)
+                    acc = np.float32(acc + vals.sum(dtype=np.float32))
+                    if b % P == proc.id:
+                        idx = np.arange(base, base + stride)
+                        new = (vals * np.float32(0.9)
+                               + _contribution(g, idx, it)
+                               + res[g] * np.float32(1e-6)).astype(np.float32)
+                        scratch = (new * np.float32(0.5)).astype(np.float32)
+                        pool.write(proc, (g, base),
+                                   np.concatenate([new, scratch]))
+                # Genetic-likelihood updates are very compute-heavy
+                # (the paper's sequential Ilink runs 1128 s).
+                proc.compute(flops=1500 * (L // (2 * P)))
+            proc.barrier()
+
+            # ---- Master phase: sum every genarray's values, publish.
+            if proc.id == 0:
+                total = np.float32(0.0)
+                sums = np.empty(G, dtype=np.float32)
+                for g in range(G):
+                    acc = np.float32(0.0)
+                    for b in range(nblocks):
+                        vals = pool.read(proc, (g, b * block), stride)
+                        acc = np.float32(acc + vals.sum(dtype=np.float32))
+                    sums[g] = acc
+                    total = np.float32(total + acc)
+                    proc.compute(flops=L // 2)
+                results.write(proc, 0, sums)
+                checksum = float(total)
+            proc.barrier()
+
+        digests = handles.setdefault("_digest", {})
+        if proc.id == 0:
+            digests["value"] = checksum
+        proc.barrier(barrier_id=992)
+        return digests["value"]
+
+    # ------------------------------------------------------------------
+    def reference(self, dataset: str) -> float:
+        p = self.params(dataset)
+        G, L, iters = p["narrays"], p["length"], p["iters"]
+        stride = p["stride"]
+        block = 2 * stride
+        nblocks = L // block
+        pool = np.zeros((G, L), dtype=np.float32)
+        sums = np.zeros(G, dtype=np.float32)
+        checksum = 0.0
+        for it in range(iters):
+            res = sums.copy() if it > 0 else np.zeros(G, dtype=np.float32)
+            for g in range(G):
+                for b in range(nblocks):
+                    base = b * block
+                    vals = pool[g, base : base + stride]
+                    idx = np.arange(base, base + stride)
+                    new = (vals * np.float32(0.9)
+                           + _contribution(g, idx, it)
+                           + res[g] * np.float32(1e-6)).astype(np.float32)
+                    pool[g, base : base + stride] = new
+                    pool[g, base + stride : base + block] = new * np.float32(0.5)
+            total = np.float32(0.0)
+            for g in range(G):
+                acc = np.float32(0.0)
+                for b in range(nblocks):
+                    vals = pool[g, b * block : b * block + stride]
+                    acc = np.float32(acc + vals.sum(dtype=np.float32))
+                sums[g] = acc
+                total = np.float32(total + acc)
+            checksum = float(total)
+        return checksum

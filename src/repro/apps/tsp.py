@@ -1,0 +1,371 @@
+"""TSP: branch-and-bound traveling salesman (Section 5.5).
+
+The major shared data structures match the paper's description: a pool
+of partially evaluated tours, a priority queue of (bound, tour) entries,
+and the current shortest tour -- all lock-protected and *migratory*
+(they move between processors as work is stolen from the queue).
+
+Paper behaviour being reproduced:
+
+* accesses to the multi-page tour pool are scattered and irregular:
+  fetching the page that holds the tour a processor popped also brings
+  diffs for tours *allocated by other processors but never read here*
+  -- both useless messages and useless data;
+* aggregation reduces the number of messages (the pool and queue are
+  touched all over), improving execution time monotonically with unit
+  size, as in Figure 1.
+
+The optimum cost is unique, so the checksum is identical across all
+configurations and matches a Held-Karp dynamic-programming reference.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.base import Application, AppRegistry
+from repro.core.proc import Proc
+from repro.core.treadmarks import TreadMarks
+
+#: int32 words per tour record: [0]=length, [1]=cost, [2:2+n]=path,
+#: remainder scratch (the real pool records carry bound bookkeeping).
+TOUR_REC = 64
+
+QLOCK = 1
+BLOCK = 2
+
+INF = 1 << 20
+
+
+def _distances(n: int) -> np.ndarray:
+    """Deterministic symmetric integer distance matrix."""
+    rng = np.random.default_rng(321)
+    d = rng.integers(5, 100, size=(n, n)).astype(np.int32)
+    d = ((d + d.T) // 2).astype(np.int32)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+def _greedy_cost(d: np.ndarray) -> int:
+    """Initial upper bound: best nearest-neighbour tour over all start
+    cities (rotated so city 0 leads; tours are cyclic)."""
+    n = d.shape[0]
+    best_total = INF
+    for start in range(n):
+        seen = {start}
+        cur, cost = start, 0
+        for _ in range(n - 1):
+            nxt, bc = -1, INF
+            for c in range(n):
+                if c not in seen and d[cur, c] < bc:
+                    nxt, bc = c, int(d[cur, c])
+            seen.add(nxt)
+            cost += bc
+            cur = nxt
+        best_total = min(best_total, cost + int(d[cur, start]))
+    return best_total
+
+
+def held_karp(d: np.ndarray) -> int:
+    """Exact TSP optimum via Held-Karp DP (the sequential reference)."""
+    n = d.shape[0]
+    full = 1 << n
+    dp = np.full((full, n), INF, dtype=np.int64)
+    dp[1, 0] = 0
+    for mask in range(1, full):
+        if not mask & 1:
+            continue
+        for last in range(n):
+            if not mask & (1 << last) or dp[mask, last] >= INF:
+                continue
+            base = dp[mask, last]
+            for nxt in range(1, n):
+                if mask & (1 << nxt):
+                    continue
+                m2 = mask | (1 << nxt)
+                v = base + d[last, nxt]
+                if v < dp[m2, nxt]:
+                    dp[m2, nxt] = v
+    best = min(
+        int(dp[full - 1, last] + d[last, 0]) for last in range(1, n)
+    )
+    return best
+
+
+@AppRegistry.register
+class TSP(Application):
+    """Branch-and-bound TSP over a shared work queue."""
+
+    name = "TSP"
+    checksum_rtol = 0.0  # integer optimum: must match exactly
+
+    datasets = {
+        # Tours with fewer than `local_depth` cities left are solved by
+        # local depth-first search (the standard parallel B&B split:
+        # only the top of the tree goes through the shared queue).
+        "19-city": {"n": 11, "max_tours": 4096, "local_depth": 7},
+    }
+
+    def heap_bytes(self, dataset: str) -> int:
+        p = self.params(dataset)
+        mt = p["max_tours"]
+        return (p["n"] ** 2 + mt * TOUR_REC + 2 * mt + 64 + TOUR_REC) * 4 + 65536
+
+    def setup(self, tmk: TreadMarks, dataset: str) -> dict:
+        p = self.params(dataset)
+        mt = p["max_tours"]
+        return {
+            "dist": tmk.array("dist", (p["n"], p["n"]), "int32"),
+            "pool": tmk.array("pool", (mt, TOUR_REC), "int32"),
+            "heap": tmk.array("heap", (mt,), "int32"),
+            "free": tmk.array("free", (mt,), "int32"),
+            # meta: [0]=heap size, [1]=active expansions,
+            # [2]=free-ring head (alloc), [3]=free-ring tail (recycle).
+            "meta": tmk.array("meta", (16,), "int32"),
+            "best": tmk.array("best", (TOUR_REC,), "int32"),
+        }
+
+    # ------------------------------------------------------------------
+    # Shared binary heap of (bound, slot) keys, caller holds QLOCK.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(bound: int, slot: int, max_tours: int) -> int:
+        return bound * max_tours + slot
+
+    def _heap_push(self, proc, h, meta, key: int) -> None:
+        size = int(meta.read(proc, 0, 1)[0])
+        i = size
+        h.write(proc, i, np.array([key], np.int32))
+        while i > 0:
+            parent = (i - 1) // 2
+            ki = int(h.read(proc, i, 1)[0])
+            kp = int(h.read(proc, parent, 1)[0])
+            if kp <= ki:
+                break
+            h.write(proc, i, np.array([kp], np.int32))
+            h.write(proc, parent, np.array([ki], np.int32))
+            i = parent
+        meta.write(proc, 0, np.array([size + 1], np.int32))
+
+    def _heap_pop(self, proc, h, meta) -> int:
+        size = int(meta.read(proc, 0, 1)[0])
+        top = int(h.read(proc, 0, 1)[0])
+        last = int(h.read(proc, size - 1, 1)[0])
+        size -= 1
+        meta.write(proc, 0, np.array([size], np.int32))
+        if size == 0:
+            return top
+        h.write(proc, 0, np.array([last], np.int32))
+        i = 0
+        while True:
+            l, r = 2 * i + 1, 2 * i + 2
+            small = i
+            ks = int(h.read(proc, small, 1)[0])
+            if l < size:
+                kl = int(h.read(proc, l, 1)[0])
+                if kl < ks:
+                    small, ks = l, kl
+            if r < size:
+                kr = int(h.read(proc, r, 1)[0])
+                if kr < ks:
+                    small, ks = r, kr
+            if small == i:
+                break
+            ki = int(h.read(proc, i, 1)[0])
+            h.write(proc, i, np.array([ks], np.int32))
+            h.write(proc, small, np.array([ki], np.int32))
+            i = small
+        return top
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dfs(d, min_edge, path: List[int], cost: int, ub: int):
+        """Bounded depth-first completion of a partial tour; returns
+        (best cost found or ub, best full path, nodes visited)."""
+        n = d.shape[0]
+        best_cost = ub
+        best_path = list(path) + [0] * (n - len(path))
+        visited = 0
+        in_path = [False] * n
+        for c in path:
+            in_path[c] = True
+        cur = list(path)
+
+        def rec(last: int, cost: int) -> None:
+            nonlocal best_cost, best_path, visited
+            visited += 1
+            if len(cur) == n:
+                total = cost + int(d[last, 0])
+                if total < best_cost:
+                    best_cost = total
+                    best_path = list(cur)
+                return
+            rem_bound = sum(
+                int(min_edge[r]) for r in range(1, n) if not in_path[r]
+            )
+            if cost + rem_bound >= best_cost:
+                return
+            for c in range(1, n):
+                if in_path[c]:
+                    continue
+                nc = cost + int(d[last, c])
+                if nc >= best_cost:
+                    continue
+                in_path[c] = True
+                cur.append(c)
+                rec(c, nc)
+                cur.pop()
+                in_path[c] = False
+
+        rec(path[-1], cost)
+        return best_cost, best_path, visited
+
+    # ------------------------------------------------------------------
+    def worker(self, proc: Proc, handles: dict, params: dict) -> float:
+        n, mt = params["n"], params["max_tours"]
+        dist, pool = handles["dist"], handles["pool"]
+        h, free, meta, best = (
+            handles["heap"],
+            handles["free"],
+            handles["meta"],
+            handles["best"],
+        )
+
+        d_local = _distances(n)
+        if proc.id == 0:
+            dist.write_rows(proc, 0, d_local)
+            ub = _greedy_cost(d_local)
+            best.write(proc, 0, np.array([ub] + [0] * (TOUR_REC - 1), np.int32))
+            # Root tour: path [0], cost 0, in slot 0.
+            root = np.zeros(TOUR_REC, dtype=np.int32)
+            root[0], root[1], root[2] = 1, 0, 0
+            pool.write_rows(proc, 0, root.reshape(1, TOUR_REC))
+            free.write(proc, 0, np.arange(mt, dtype=np.int32))
+            h.write(proc, 0, np.array([self._key(0, 0, mt)], np.int32))
+            # Free ring: slots [head, tail) are available; slot 0 holds
+            # the root, so head starts at 1.  FIFO recycling walks the
+            # whole pool, so live tours spread over many pages (the
+            # paper's scattered, irregular pool accesses).
+            meta.write(proc, 0, np.array([1, 0, 1, mt] + [0] * 12, np.int32))
+        proc.barrier()
+
+        # Read-only distance matrix: fetched once, then cached pages.
+        d = dist.read_rows(proc, 0, n).reshape(n, n)
+        min_edge = np.where(d > 0, d, INF).min(axis=1).astype(np.int64)
+
+        idle_us = 200.0
+        batch = 4  # tours claimed per queue visit
+        while True:
+            proc.acquire(QLOCK)
+            size, active = (int(x) for x in meta.read(proc, 0, 2))
+            if size == 0:
+                proc.release(QLOCK)
+                if active == 0:
+                    break
+                proc.compute(us=idle_us)  # back off and re-poll
+                idle_us = min(idle_us * 2.0, 5000.0)
+                continue
+            idle_us = 200.0
+            keys = [self._heap_pop(proc, h, meta) for _ in range(min(batch, size))]
+            meta.write(proc, 1, np.array([active + 1], np.int32))
+            proc.release(QLOCK)
+
+            all_children: List[tuple] = []
+            claimed: List[int] = []
+            for key in keys:
+                self._expand(
+                    proc, key, params, handles, d, min_edge, all_children, claimed
+                )
+
+            # Publish children and retire this visit.
+            self._publish(proc, params, handles, all_children, claimed)
+
+        proc.barrier()
+        return float(int(best.read(proc, 0, 1)[0]))
+
+    # ------------------------------------------------------------------
+    def _expand(
+        self, proc, key, params, handles, d, min_edge, all_children, claimed
+    ) -> None:
+        """Expand one popped queue entry: either one branching level
+        (children go back to the queue) or a full local DFS for deep
+        subtrees."""
+        n, mt = params["n"], params["max_tours"]
+        pool, best = handles["pool"], handles["best"]
+        bound, slot = divmod(key, mt)
+        claimed.append(slot)
+        tour = pool.read_row(proc, slot)
+        length, cost = int(tour[0]), int(tour[1])
+        path = tour[2 : 2 + length]
+        last = int(path[-1])
+        in_path = set(int(c) for c in path)
+
+        cur_best = int(best.read(proc, 0, 1)[0])
+        if bound < cur_best:
+            if n - length <= params["local_depth"]:
+                # Deep subtree: solve by local DFS (pure compute);
+                # publish an improved tour once at the end.
+                found, fpath, visited = self._dfs(
+                    d, min_edge, list(int(c) for c in path), cost, cur_best
+                )
+                proc.compute(flops=800 * visited)
+                if found < cur_best:
+                    proc.acquire(BLOCK)
+                    cur = int(best.read(proc, 0, 1)[0])
+                    if found < cur:
+                        rec = np.zeros(TOUR_REC, dtype=np.int32)
+                        rec[0] = found
+                        rec[1 : 1 + n] = fpath
+                        best.write(proc, 0, rec)
+                    proc.release(BLOCK)
+            else:
+                for c in range(1, n):
+                    if c in in_path:
+                        continue
+                    ncost = cost + int(d[last, c])
+                    proc.compute(flops=8)
+                    remaining = [
+                        r for r in range(1, n) if r not in in_path and r != c
+                    ]
+                    lb = ncost + int(
+                        sum(min_edge[r] for r in remaining) + min_edge[c]
+                    )
+                    if lb < cur_best:
+                        all_children.append((lb, ncost, list(int(x) for x in path), c))
+
+    # ------------------------------------------------------------------
+    def _publish(self, proc, params, handles, all_children, claimed) -> None:
+        """Write the new child tours into the pool, push their queue
+        entries, recycle the claimed slots, and retire the visit."""
+        mt = params["max_tours"]
+        pool = handles["pool"]
+        h, free, meta = handles["heap"], handles["free"], handles["meta"]
+        proc.acquire(QLOCK)
+        head, tail = (int(x) for x in meta.read(proc, 2, 2))
+        for slot in claimed:
+            free.write(proc, tail % mt, np.array([slot], np.int32))
+            tail += 1
+        for lb, ncost, path, c in all_children:
+            if head == tail:
+                raise RuntimeError("tour pool exhausted")
+            child_slot = int(free.read(proc, head % mt, 1)[0])
+            head += 1
+            length = len(path)
+            rec = np.zeros(TOUR_REC, dtype=np.int32)
+            rec[0] = length + 1
+            rec[1] = ncost
+            rec[2 : 2 + length] = path
+            rec[2 + length] = c
+            pool.write_rows(proc, child_slot, rec.reshape(1, TOUR_REC))
+            self._heap_push(proc, h, meta, self._key(lb, child_slot, mt))
+        meta.write(proc, 2, np.array([head, tail], np.int32))
+        active = int(meta.read(proc, 1, 1)[0])
+        meta.write(proc, 1, np.array([active - 1], np.int32))
+        proc.release(QLOCK)
+
+    # ------------------------------------------------------------------
+    def reference(self, dataset: str) -> float:
+        p = self.params(dataset)
+        return float(held_karp(_distances(p["n"])))

@@ -1,0 +1,189 @@
+"""Water: molecular dynamics with an O(n^2/2) cutoff interaction
+(Section 5.5; SPLASH).
+
+The molecule array is shared, contiguous, and block-partitioned.  Each
+molecule record mixes the truly shared fields (positions, forces) with
+*private* per-molecule scratch (velocities, displacements, old forces)
+-- the paper's source of "a large amount of useless data carried in
+useful messages": a reader fetches a molecule's diff to read its
+positions, but the co-diffed private words are never read.
+
+Phases per timestep, as in the paper:
+
+* **intra-molecular**: each owner updates its own molecules
+  (fine-grained writes; write-write false sharing on the pages at
+  partition boundaries, producing the paper's useless messages when a
+  processor receives data for the preceding neighbour's molecules);
+* **inter-molecular**: each molecule interacts with the n/2 molecules
+  around it (wrap-around).  Reads are fine-grained (one molecule) but
+  the region each processor reads covers half the shared array, so
+  aggregation wins.  Owners accumulate the full force on their own
+  molecules (computing each pair from both sides), so molecule pages
+  keep their owners as the only writers -- matching the paper's
+  observation that an inter-phase fault contacts one or two processors.
+  A global lock protects the shared potential-energy accumulator;
+* **integration**: owners fold forces into positions and zero the
+  accumulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, AppRegistry
+from repro.core.proc import Proc
+from repro.core.treadmarks import TreadMarks
+
+#: float32 words per molecule record.
+REC = 64
+#: Field slots within a record.
+POS = slice(0, 9)      # 3 atoms x 3 coordinates -- shared, read by peers
+FORCE = slice(9, 18)   # force accumulators -- shared, owner-written
+PRIVATE = slice(18, 64)  # velocities / scratch -- written, never read remotely
+
+#: Lock protecting the global potential-energy sum.
+ENERGY_LOCK = 99
+
+
+def _initial_positions(n: int) -> np.ndarray:
+    rng = np.random.default_rng(4242)
+    mol = np.zeros((n, REC), dtype=np.float32)
+    mol[:, POS] = rng.uniform(0.0, 10.0, size=(n, 9)).astype(np.float32)
+    mol[:, PRIVATE] = rng.standard_normal((n, 46)).astype(np.float32) * 0.01
+    return mol
+
+
+def _pair_force(pi: np.ndarray, pj: np.ndarray) -> np.ndarray:
+    """Deterministic float32 pseudo-Lennard-Jones force on i from j
+    (9 components, one per atom coordinate)."""
+    d = pi - pj
+    r2 = np.float32((d * d).sum()) + np.float32(0.1)
+    scale = np.float32(1.0) / (r2 * r2)
+    return (d * scale).astype(np.float32)
+
+
+def _pair_energy(pi: np.ndarray, pj: np.ndarray) -> float:
+    d = pi - pj
+    r2 = np.float32((d * d).sum()) + np.float32(0.1)
+    return float(np.float32(1.0) / r2)
+
+
+@AppRegistry.register
+class Water(Application):
+    """SPLASH Water's sharing structure on the simulated DSM."""
+
+    name = "Water"
+    checksum_rtol = 1e-5
+
+    datasets = {
+        # Paper used 512/1728 molecules; 216 preserves partition
+        # boundaries inside pages (16 molecules of 256 B per 4 KB page;
+        # 27 molecules per processor).
+        "512": {"n": 216, "iters": 2},
+    }
+
+    def heap_bytes(self, dataset: str) -> int:
+        p = self.params(dataset)
+        return p["n"] * REC * 4 + 65536
+
+    def setup(self, tmk: TreadMarks, dataset: str) -> dict:
+        p = self.params(dataset)
+        return {
+            "mol": tmk.array("mol", (p["n"], REC), "float32"),
+            "energy": tmk.array("energy", (16,), "float32"),
+        }
+
+    # ------------------------------------------------------------------
+    def worker(self, proc: Proc, handles: dict, params: dict) -> float:
+        mol, energy = handles["mol"], handles["energy"]
+        n, iters = params["n"], params["iters"]
+        lo, hi = self.block_range(n, proc.nprocs, proc.id)
+
+        # Distributed initialization: owners write their own molecules.
+        mol.write_rows(proc, lo, _initial_positions(n)[lo:hi])
+        if proc.id == 0:
+            energy.write(proc, 0, np.zeros(16, np.float32))
+        proc.barrier()
+
+        for _ in range(iters):
+            # ---- Intra-molecular phase: update own records in place
+            # (fine-grained per-molecule writes of positions + private
+            # scratch).
+            for i in range(lo, hi):
+                rec = mol.read_row(proc, i)
+                rec[PRIVATE] = rec[PRIVATE] * np.float32(0.99)
+                rec[POS] = rec[POS] + rec[PRIVATE][:9] * np.float32(0.001)
+                proc.compute(flops=3 * REC)
+                mol.write(proc, (i, 0), rec[POS])
+                mol.write(proc, (i, PRIVATE.start), rec[PRIVATE])
+            proc.barrier()
+
+            # ---- Inter-molecular phase: owners accumulate the full
+            # force on their own molecules, interacting with the n/2
+            # molecules on each side (each pair computed by both
+            # owners).  Positions are read per molecule (fine-grained),
+            # cached locally for the phase as the hardware cache would.
+            cache = {}
+
+            def pos_of(j: int) -> np.ndarray:
+                if j not in cache:
+                    cache[j] = mol.read(proc, (j, 0), 9).copy()
+                return cache[j]
+
+            epot = 0.0
+            for i in range(lo, hi):
+                pi = pos_of(i)
+                f = np.zeros(9, dtype=np.float32)
+                for k in range(1, n // 2 + 1):
+                    f = f + _pair_force(pi, pos_of((i + k) % n))
+                    f = f - _pair_force(pos_of((i - k) % n), pi)
+                    epot += _pair_energy(pi, pos_of((i + k) % n))
+                # The real Water potential costs several hundred flops
+                # per pair (square roots, exponentials, 3x3 atom pairs).
+                proc.compute(flops=2 * 320 * (n // 2))
+                mol.write(proc, (i, FORCE.start), f)
+
+            # Global potential-energy sum, lock-protected.
+            proc.acquire(ENERGY_LOCK)
+            cur = energy.read(proc, 0, 1)[0]
+            energy.write(
+                proc, 0, np.array([cur + np.float32(epot)], np.float32)
+            )
+            proc.release(ENERGY_LOCK)
+            proc.barrier()
+
+            # ---- Integration: owners fold forces into positions and
+            # zero the accumulators for the next timestep.
+            for i in range(lo, hi):
+                rec = mol.read_row(proc, i)
+                rec[POS] = rec[POS] + rec[FORCE] * np.float32(1e-4)
+                rec[FORCE] = np.float32(0.0)
+                proc.compute(flops=2 * REC)
+                mol.write(proc, (i, 0), rec[:FORCE.stop])
+            proc.barrier()
+
+        local = 0.0
+        for i in range(lo, hi):
+            local += float(
+                np.abs(mol.read(proc, (i, 0), 18)).astype(np.float64).sum()
+            )
+        return self.collect_checksum(proc, handles, local)
+
+    # ------------------------------------------------------------------
+    def reference(self, dataset: str) -> float:
+        p = self.params(dataset)
+        n, iters = p["n"], p["iters"]
+        m = _initial_positions(n)
+        for _ in range(iters):
+            m[:, PRIVATE] = m[:, PRIVATE] * np.float32(0.99)
+            m[:, POS] = m[:, POS] + m[:, PRIVATE][:, :9] * np.float32(0.001)
+            forces = np.zeros((n, 9), dtype=np.float32)
+            for i in range(n):
+                f = np.zeros(9, dtype=np.float32)
+                for k in range(1, n // 2 + 1):
+                    f = f + _pair_force(m[i, POS], m[(i + k) % n, POS])
+                    f = f - _pair_force(m[(i - k) % n, POS], m[i, POS])
+                forces[i] = f
+            m[:, POS] = m[:, POS] + forces * np.float32(1e-4)
+        total = np.abs(m[:, :18]).astype(np.float64).sum()
+        return float(total)

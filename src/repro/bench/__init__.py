@@ -1,0 +1,34 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.bench.harness` -- run matrix, caching, normalization, and
+  ASCII rendering shared by all experiments.
+* :mod:`repro.bench.table1` -- Table 1 (sequential times and 8-processor
+  speedups at the 4 KB unit).
+* :mod:`repro.bench.figures` -- Figures 1 and 2 (normalized execution
+  time / messages / data with useful-useless-piggyback breakdowns) and
+  Figure 3 (false-sharing signatures at 4 KB vs 16 KB).
+* :mod:`repro.bench.micro` -- the Section 5.1 platform microbenchmarks.
+* :mod:`repro.bench.ablation` -- ablations of the design choices called
+  out in DESIGN.md (dynamic group size, request combining, parallel
+  fetch).
+
+Each module renders the paper-shaped table as text and returns the raw
+numbers; the ``benchmarks/`` pytest-benchmark suite drives them and
+writes the outputs next to EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import (
+    UNIT_LABELS,
+    CaseResult,
+    ResultCache,
+    run_case,
+    render_breakdown_table,
+)
+
+__all__ = [
+    "UNIT_LABELS",
+    "CaseResult",
+    "ResultCache",
+    "run_case",
+    "render_breakdown_table",
+]

@@ -1,0 +1,90 @@
+"""Command-line runner for the experiment harness.
+
+    python -m repro.bench table1
+    python -m repro.bench figure1 figure2 figure3
+    python -m repro.bench micro ablation
+    python -m repro.bench all --out repro_results
+
+Each command prints the paper-shaped table and (with ``--out``) writes
+it next to the CSV data, exactly like the pytest-benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict
+
+from repro.bench import ablation, figures, micro
+from repro.bench.table1 import build_table1, render_table1
+
+
+def _run_table1() -> str:
+    return render_table1(build_table1())
+
+
+def _run_figure(fig: Callable) -> Callable[[], str]:
+    def run() -> str:
+        _, text = fig()
+        return text
+
+    return run
+
+
+def _run_micro() -> str:
+    return micro.render(micro.run_all())
+
+
+def _run_ablation() -> str:
+    rows = (
+        ablation.sweep_group_size("ILINK", "CLP")
+        + ablation.sweep_group_size("MGS", "1Kx1K")
+        + ablation.ablate_request_combining("ILINK", "CLP")
+        + ablation.ablate_parallel_fetch("ILINK", "CLP")
+    )
+    return "Ablations\n" + ablation.render(rows)
+
+
+COMMANDS: Dict[str, Callable[[], str]] = {
+    "table1": _run_table1,
+    "figure1": _run_figure(figures.figure1),
+    "figure2": _run_figure(figures.figure2),
+    "figure3": _run_figure(figures.figure3),
+    "micro": _run_micro,
+    "ablation": _run_ablation,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which experiments to run",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write .txt outputs into (default: print only)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(COMMANDS) if "all" in args.experiments else args.experiments
+    for name in names:
+        text = COMMANDS[name]()
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

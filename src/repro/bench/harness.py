@@ -1,0 +1,171 @@
+"""Shared experiment-harness machinery.
+
+Every paper experiment is a matrix of (application, dataset) x
+(consistency configuration).  ``run_case`` executes one cell and distills
+a :class:`CaseResult`; :class:`ResultCache` memoizes cells so the
+benchmark suite never runs the same simulation twice; the render helpers
+produce the paper-shaped ASCII tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.base import get_app, run_app
+from repro.sim.config import SimConfig
+from repro.stats.report import RunResult
+
+#: Consistency configurations in paper order.
+UNIT_LABELS = ("4K", "8K", "16K", "Dyn")
+
+
+def config_for(label: str, nprocs: int = 8, **extra) -> SimConfig:
+    """The SimConfig for one of the paper's unit labels (or 'seq')."""
+    if label == "seq":
+        return SimConfig(nprocs=1, **extra)
+    if label == "Dyn":
+        return SimConfig(nprocs=nprocs, dynamic=True, **extra)
+    pages = {"4K": 1, "8K": 2, "16K": 4}[label]
+    return SimConfig(nprocs=nprocs, unit_pages=pages, **extra)
+
+
+@dataclass
+class CaseResult:
+    """The distilled measurements of one matrix cell."""
+
+    app: str
+    dataset: str
+    label: str
+    time_us: float
+    useful_messages: int
+    useless_messages: int
+    sync_messages: int
+    useful_bytes: int
+    useless_bytes: int
+    piggybacked_useless_bytes: int
+    sync_bytes: int
+    signature: Dict[int, Tuple[float, float]]
+    checksum: Optional[float]
+    faults: int
+    monitoring_faults: int
+
+    @property
+    def total_messages(self) -> int:
+        return self.useful_messages + self.useless_messages + self.sync_messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.useful_bytes + self.useless_bytes + self.sync_bytes
+
+    @classmethod
+    def from_run(cls, res: RunResult) -> "CaseResult":
+        c = res.comm
+        return cls(
+            app=res.app_name,
+            dataset=res.dataset,
+            label=res.unit_label if res.config.nprocs > 1 else "seq",
+            time_us=res.time_us,
+            useful_messages=c.useful_messages,
+            useless_messages=c.useless_messages,
+            sync_messages=c.sync_messages,
+            useful_bytes=c.useful_bytes,
+            useless_bytes=c.useless_bytes,
+            piggybacked_useless_bytes=c.piggybacked_useless_bytes,
+            sync_bytes=c.sync_bytes,
+            signature=res.signature.normalized(),
+            checksum=res.checksum,
+            faults=res.stats.faults,
+            monitoring_faults=res.stats.monitoring_faults,
+        )
+
+
+def run_case(app_name: str, dataset: str, label: str, **extra) -> CaseResult:
+    """Run one (application, dataset, configuration) cell."""
+    app = get_app(app_name)
+    res = run_app(app, dataset, config_for(label, **extra))
+    return CaseResult.from_run(res)
+
+
+class ResultCache:
+    """Process-wide memo of matrix cells (simulations are deterministic,
+    so caching is sound)."""
+
+    _cells: Dict[Tuple[str, str, str, tuple], CaseResult] = {}
+
+    @classmethod
+    def get(cls, app_name: str, dataset: str, label: str, **extra) -> CaseResult:
+        key = (app_name, dataset, label, tuple(sorted(extra.items())))
+        if key not in cls._cells:
+            cls._cells[key] = run_case(app_name, dataset, label, **extra)
+        return cls._cells[key]
+
+    @classmethod
+    def clear(cls) -> None:
+        cls._cells.clear()
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _bar(fraction: float, width: int = 24) -> str:
+    n = max(0, min(width * 3, int(round(fraction * width))))
+    return "#" * n
+
+
+def render_breakdown_table(
+    app_name: str,
+    dataset: str,
+    cells: Dict[str, CaseResult],
+) -> str:
+    """The paper's Figure-1/2 panel for one application/dataset as text:
+    execution time, messages, and data, normalized to the 4 KB cell, with
+    the useful (#) / useless (.) / piggybacked (~) breakdown."""
+    base = cells["4K"]
+    lines = [f"--- {app_name} {dataset} (normalized to 4K) ---"]
+    lines.append(f"{'':>5} {'time':>6} | {'messages':>9} (useful+useless+sync) | "
+                 f"{'data KB':>8} (useful+piggy+useless)")
+    for label in UNIT_LABELS:
+        if label not in cells:
+            continue
+        c = cells[label]
+        t = c.time_us / base.time_us
+        m = c.total_messages / max(base.total_messages, 1)
+        d = c.total_bytes / max(base.total_bytes, 1)
+        lines.append(
+            f"{label:>5} {t:6.2f} | {m:9.2f}  "
+            f"{c.useful_messages:6d}+{c.useless_messages:<6d}+{c.sync_messages:<5d} | "
+            f"{d:8.2f}  "
+            f"{c.useful_bytes // 1024:5d}+{c.piggybacked_useless_bytes // 1024:<5d}"
+            f"+{(c.useless_bytes - c.piggybacked_useless_bytes) // 1024:<5d}"
+        )
+    return "\n".join(lines)
+
+
+def render_signature(cells: Dict[str, CaseResult], labels=("4K", "16K")) -> str:
+    """Figure-3 panel: the false-sharing signature histogram as text."""
+    lines = []
+    for label in labels:
+        c = cells[label]
+        lines.append(f"  [{label}] mean writers = "
+                     f"{sum(k * sum(v) for k, v in c.signature.items()):.2f}")
+        for writers in sorted(c.signature):
+            useful, useless = c.signature[writers]
+            lines.append(
+                f"    {writers}: {_bar(useful)}{'.' * len(_bar(useless))} "
+                f"({useful:.2f} useful, {useless:.2f} useless)"
+            )
+    return "\n".join(lines)
+
+
+def write_csv(path, rows: Iterable[dict]) -> None:
+    """Write experiment rows as CSV (header from the first row)."""
+    rows = list(rows)
+    if not rows:
+        return
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)

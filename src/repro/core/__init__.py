@@ -1,0 +1,40 @@
+"""Public API of the DSM reproduction.
+
+Typical use::
+
+    from repro.core import TreadMarks, SimConfig
+
+    tmk = TreadMarks(SimConfig(nprocs=8, unit_pages=2), heap_bytes=1 << 20)
+    grid = tmk.array("grid", (128, 1024), dtype="float32")
+
+    def worker(proc):
+        ...
+        proc.barrier()
+        row = grid.read_row(proc, i)
+        ...
+
+    result = tmk.run(worker)
+    print(result.time_seconds, result.comm.useless_messages)
+
+:class:`TreadMarks` wires the simulated cluster, the LRC protocol, and
+the instrumentation together; :class:`Proc` is the per-processor handle
+applications program against (the analogue of the TreadMarks C API:
+``Tmk_malloc``, ``Tmk_lock_acquire``, ``Tmk_barrier``, plus explicit
+shared reads/writes, which in the real system are ordinary loads and
+stores trapped by the VM hardware).
+"""
+
+from repro.sim.config import SimConfig, PAPER_PLATFORM
+from repro.core.proc import Proc
+from repro.core.shared import SharedArray
+from repro.core.treadmarks import TreadMarks
+from repro.stats.report import RunResult
+
+__all__ = [
+    "SimConfig",
+    "PAPER_PLATFORM",
+    "Proc",
+    "SharedArray",
+    "TreadMarks",
+    "RunResult",
+]

@@ -1,0 +1,93 @@
+"""The per-processor application handle.
+
+A :class:`Proc` is passed to the application function on each simulated
+processor.  It exposes:
+
+* shared memory access (:meth:`read` / :meth:`write`, in heap word
+  offsets; applications usually go through
+  :class:`repro.core.shared.SharedArray` instead),
+* synchronization (:meth:`acquire` / :meth:`release` / :meth:`barrier`),
+* local work accounting (:meth:`compute`).
+
+Every shared access is instrumented: it may fault (invalid unit), it
+resolves diff-word usefulness, and it advances the processor's simulated
+clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.dsm.lrc import LrcProc
+from repro.sim.engine import OpKind, ProcContext
+
+if TYPE_CHECKING:
+    from repro.core.treadmarks import TreadMarks
+
+
+class Proc:
+    """Application-facing processor handle."""
+
+    def __init__(self, ctx: ProcContext, lrc: LrcProc, runtime: "TreadMarks") -> None:
+        self._ctx = ctx
+        self._lrc = lrc
+        self._runtime = runtime
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def id(self) -> int:
+        """This processor's id in ``[0, nprocs)``."""
+        return self._ctx.pid
+
+    @property
+    def nprocs(self) -> int:
+        """Number of processors in the run."""
+        return self._runtime.config.nprocs
+
+    @property
+    def time_us(self) -> float:
+        """This processor's current simulated clock (microseconds)."""
+        return self._ctx.clock.now
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+    def read(self, word0: int, nwords: int) -> np.ndarray:
+        """Read ``nwords`` shared words starting at heap word ``word0``;
+        returns the raw uint32 bit patterns (view with ``.view(dtype)``)."""
+        return self._lrc.read_words(word0, nwords)
+
+    def write(self, word0: int, values: np.ndarray) -> None:
+        """Write uint32 bit patterns to shared words starting at
+        ``word0``."""
+        self._lrc.write_words(word0, np.ascontiguousarray(values, dtype=np.uint32))
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def acquire(self, lock_id: int) -> None:
+        """Acquire a global lock (``Tmk_lock_acquire``)."""
+        self._lrc.at_sync_point()
+        self._ctx.engine.park(self._ctx, OpKind.ACQUIRE, lock_id)
+
+    def release(self, lock_id: int) -> None:
+        """Release a global lock (``Tmk_lock_release``)."""
+        self._lrc.at_sync_point()
+        self._ctx.engine.park(self._ctx, OpKind.RELEASE, lock_id)
+
+    def barrier(self, barrier_id: int = 0) -> None:
+        """Arrive at a global barrier (``Tmk_barrier``)."""
+        self._lrc.at_sync_point()
+        self._ctx.engine.park(self._ctx, OpKind.BARRIER, barrier_id)
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def compute(self, flops: float = 0.0, us: float = 0.0) -> None:
+        """Charge local computation to this processor's clock: ``flops``
+        floating-point operations and/or ``us`` raw microseconds."""
+        self._ctx.clock.advance(flops * self._runtime.config.flop_us + us)

@@ -1,0 +1,125 @@
+"""Typed views over shared heap allocations.
+
+A :class:`SharedArray` is a *global* handle (shape, dtype, heap offset)
+created once at setup time via :meth:`repro.core.treadmarks.TreadMarks.array`;
+processors access it through their :class:`repro.core.proc.Proc`.  All
+accesses decompose into contiguous word-range reads/writes on the shared
+heap, which is where faulting and instrumentation happen.
+
+Supported dtypes are the 4-byte-multiple numeric types (float32, int32,
+uint32, float64, int64, complex64, complex128), matching the paper's
+4-byte instrumentation word.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.proc import Proc
+from repro.dsm.address_space import Allocation
+from repro.dsm.diff import WORD
+
+
+class SharedArray:
+    """A C-ordered shared array living in the DSM heap."""
+
+    def __init__(self, alloc: Allocation, shape: Tuple[int, ...], dtype) -> None:
+        self.alloc = alloc
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.itemsize % WORD:
+            raise ValueError(
+                f"dtype {self.dtype} has itemsize {self.dtype.itemsize}, "
+                f"not a multiple of the {WORD}-byte word"
+            )
+        self.words_per_elem = self.dtype.itemsize // WORD
+        self.size = int(np.prod(self.shape))
+        if self.size * self.dtype.itemsize > alloc.nbytes:
+            raise ValueError(
+                f"array {alloc.name!r} needs {self.size * self.dtype.itemsize} "
+                f"bytes, allocation holds {alloc.nbytes}"
+            )
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    def word_offset(self, flat_index: int) -> int:
+        """Heap word offset of flat element ``flat_index``."""
+        if flat_index < 0 or flat_index > self.size:
+            raise IndexError(f"flat index {flat_index} out of {self.size}")
+        return self.alloc.word_offset + flat_index * self.words_per_elem
+
+    def _flatten(self, index) -> int:
+        """Flat element index of an (i, j, ...) tuple or int."""
+        if isinstance(index, int):
+            if len(self.shape) != 1:
+                raise IndexError(f"array {self.alloc.name!r} needs a tuple index")
+            return index
+        return int(np.ravel_multi_index(index, self.shape))
+
+    # ------------------------------------------------------------------
+    # Element / block access
+    # ------------------------------------------------------------------
+    def read(self, proc: Proc, start, count: int = 1) -> np.ndarray:
+        """Read ``count`` contiguous elements starting at ``start`` (an
+        int for 1-D arrays or an index tuple); returns a 1-D ndarray of
+        the array's dtype."""
+        flat = self._flatten(start)
+        if flat + count > self.size:
+            raise IndexError(
+                f"read of {count} elements at flat {flat} exceeds size {self.size}"
+            )
+        raw = proc.read(self.word_offset(flat), count * self.words_per_elem)
+        return raw.view(self.dtype)
+
+    def write(self, proc: Proc, start, values) -> None:
+        """Write contiguous elements starting at ``start``."""
+        vals = np.ascontiguousarray(values, dtype=self.dtype).ravel()
+        flat = self._flatten(start)
+        if flat + vals.size > self.size:
+            raise IndexError(
+                f"write of {vals.size} elements at flat {flat} exceeds "
+                f"size {self.size}"
+            )
+        proc.write(self.word_offset(flat), vals.view(np.uint32))
+
+    # ------------------------------------------------------------------
+    # Row helpers for 2-D arrays (C order: a row is contiguous)
+    # ------------------------------------------------------------------
+    def read_row(self, proc: Proc, i: int) -> np.ndarray:
+        """Read row ``i`` of a 2-D array."""
+        self._check_2d()
+        return self.read(proc, (i, 0), self.shape[1])
+
+    def write_row(self, proc: Proc, i: int, values) -> None:
+        """Write row ``i`` of a 2-D array."""
+        self._check_2d()
+        self.write(proc, (i, 0), values)
+
+    def read_rows(self, proc: Proc, i0: int, i1: int) -> np.ndarray:
+        """Read rows ``[i0, i1)`` of a 2-D array as an (i1-i0, ncols)
+        ndarray (one contiguous shared access)."""
+        self._check_2d()
+        n = (i1 - i0) * self.shape[1]
+        return self.read(proc, (i0, 0), n).reshape(i1 - i0, self.shape[1])
+
+    def write_rows(self, proc: Proc, i0: int, values) -> None:
+        """Write consecutive rows starting at ``i0`` (one contiguous
+        shared access)."""
+        self._check_2d()
+        self.write(proc, (i0, 0), np.asarray(values))
+
+    def _check_2d(self) -> None:
+        if len(self.shape) != 2:
+            raise IndexError(
+                f"row access needs a 2-D array, {self.alloc.name!r} has "
+                f"shape {self.shape}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArray({self.alloc.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, word_offset={self.alloc.word_offset})"
+        )

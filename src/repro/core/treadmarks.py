@@ -1,0 +1,124 @@
+"""The TreadMarks runtime: wiring of substrate, protocol, and stats.
+
+A :class:`TreadMarks` instance owns one simulated cluster and one shared
+heap.  It is single-use: construct, allocate shared arrays, :meth:`run`
+one application, and read the returned :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.proc import Proc
+from repro.core.shared import SharedArray
+from repro.dsm.address_space import Allocation, SharedHeapLayout
+from repro.dsm.aggregation import make_aggregator
+from repro.dsm.intervals import IntervalStore
+from repro.dsm.lrc import LrcProc
+from repro.dsm.sync import SyncManager
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine, ProcContext
+from repro.sim.network import Network
+from repro.stats.counters import ProtocolStats
+from repro.stats.report import RunResult, build_result
+
+
+class TreadMarks:
+    """One simulated DSM system: N processors over one shared heap."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        heap_bytes: int,
+        app_name: str = "",
+        dataset: str = "",
+    ) -> None:
+        config.validate()
+        if config.dynamic and config.unit_pages != 1:
+            raise ValueError("dynamic aggregation requires unit_pages == 1")
+        self.config = config
+        self.app_name = app_name
+        self.dataset = dataset
+        self.layout = SharedHeapLayout(
+            heap_bytes, config.page_size, config.unit_bytes
+        )
+        self.engine = Engine(config)
+        self.network = Network(config)
+        self.store = IntervalStore(config.nprocs)
+        self.stats = ProtocolStats()
+        self.procs: List[LrcProc] = []
+        for pid in range(config.nprocs):
+            lp = LrcProc(
+                pid=pid,
+                layout=self.layout,
+                config=config,
+                store=self.store,
+                network=self.network,
+                stats=self.stats,
+                clock=self.engine.procs[pid].clock,
+                credit=self._credit,
+            )
+            lp.aggregator = make_aggregator(lp)
+            self.procs.append(lp)
+        self.sync = SyncManager(config, self.network, self.procs, self.stats)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def malloc(self, name: str, nbytes: int, page_align: bool = True) -> Allocation:
+        """Allocate raw shared bytes (``Tmk_malloc``)."""
+        return self.layout.malloc(name, nbytes, page_align=page_align)
+
+    def array(
+        self, name: str, shape, dtype="float32", page_align: bool = True
+    ) -> SharedArray:
+        """Allocate a typed shared array in the heap."""
+        shape = tuple(int(s) for s in np.atleast_1d(shape)) if not isinstance(
+            shape, tuple
+        ) else shape
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dt.itemsize
+        alloc = self.malloc(name, nbytes, page_align=page_align)
+        return SharedArray(alloc, shape, dt)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[[Proc], object]) -> RunResult:
+        """Run ``fn(proc)`` on every simulated processor to completion
+        and return the consolidated measurements.
+
+        ``fn``'s return value on processor 0 is stored as the run's
+        ``checksum`` (used by the coherence-invariance tests)."""
+        if self._ran:
+            raise RuntimeError("a TreadMarks instance runs exactly once")
+        self._ran = True
+        returns: List[object] = [None] * self.config.nprocs
+
+        def make_body(pid: int) -> Callable[[ProcContext], None]:
+            def body(ctx: ProcContext) -> None:
+                proc = Proc(ctx, self.procs[pid], self)
+                returns[pid] = fn(proc)
+
+            return body
+
+        fns = [make_body(pid) for pid in range(self.config.nprocs)]
+        self.engine.run(fns, self.sync.service)
+
+        checksum = returns[0]
+        return build_result(
+            app_name=self.app_name,
+            dataset=self.dataset,
+            config=self.config,
+            network=self.network,
+            stats=self.stats,
+            proc_times_us=[ctx.clock.now for ctx in self.engine.procs],
+            checksum=checksum if isinstance(checksum, (int, float)) else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _credit(self, msg_id: int, nwords: int) -> None:
+        self.network.messages[msg_id].words_useful += nwords

@@ -1,0 +1,166 @@
+"""Aggregation strategies: what an access miss actually fetches.
+
+* :class:`StaticAggregator` -- the consistency unit is a fixed multiple
+  of the hardware page (Section 3).  Every protocol action (twin, diff,
+  invalidate, fetch) already operates at unit granularity in
+  :class:`repro.dsm.lrc.LrcProc`; a miss fetches exactly one unit, and
+  distinct units miss separately (their diffs are requested in sequence,
+  which is precisely the cost that aggregation removes).
+
+* :class:`DynamicAggregator` -- the Section-4 algorithm.  The unit is one
+  page; pages a processor faulted on during the last interval are grouped
+  (in access order, up to ``max_group_pages`` per group, not necessarily
+  contiguous) at each synchronization.  The first fault on any member of
+  a group requests the pending diffs of *all* members, combining requests
+  per writer; member pages whose data arrived that way stay
+  access-invalid until they fault themselves, which both tracks the
+  access pattern and charges the algorithm's monitoring cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dsm.lrc import LrcProc
+
+
+class Aggregator:
+    """Strategy interface consulted by :class:`LrcProc` on every shared
+    access and at every synchronization point."""
+
+    def ensure_valid(self, word0: int, nwords: int) -> None:
+        """Make every unit overlapped by the access valid, faulting and
+        fetching as the strategy dictates."""
+        raise NotImplementedError
+
+    def on_sync(self) -> None:
+        """Called at every synchronization operation (after the interval
+        closes, before the processor parks)."""
+
+    def on_invalidate(self, unit: int) -> None:
+        """Called when a write notice invalidates ``unit``."""
+
+
+class StaticAggregator(Aggregator):
+    """Fixed consistency unit of ``config.unit_pages`` hardware pages."""
+
+    def __init__(self, proc: LrcProc) -> None:
+        self.proc = proc
+
+    def ensure_valid(self, word0: int, nwords: int) -> None:
+        proc = self.proc
+        for unit in proc.layout.units_of_range(word0, nwords):
+            if proc.pending.get(unit):
+                # Each invalid unit is a separate access miss: with a
+                # static unit there is no cross-unit combining, so a
+                # region spanning two invalid units pays two sequential
+                # fetches (the paper's "requested in sequence" case).
+                proc.fetch([unit])
+
+
+class DynamicAggregator(Aggregator):
+    """Section-4 dynamic page grouping (requires ``unit_pages == 1``).
+
+    Groups are *persistent*: pages faulted on during an interval are
+    regrouped (in access order) at the interval-ending synchronization,
+    while pages not accessed keep their previous membership -- a
+    processor whose phases alternate (read phase / write phase between
+    barriers, as in Jacobi) would otherwise lose its groups every other
+    interval.  The hysteresis the paper describes is the removal rule: a
+    page whose diffs were fetched with its group but that was never
+    subsequently accessed is dropped back to singleton behaviour (its
+    one useless fetch is the hysteresis cost, overlapped with the
+    faulting page's request)."""
+
+    def __init__(self, proc: LrcProc) -> None:
+        if proc.config.unit_pages != 1:
+            raise ValueError(
+                "dynamic aggregation operates on single pages; got "
+                f"unit_pages={proc.config.unit_pages}"
+            )
+        self.proc = proc
+        nunits = proc.layout.nunits
+        # Pages start access-invalid: the algorithm keeps a page invalid
+        # until its first access so that every first access is observed.
+        self.access_valid = [False] * nunits
+        self.group_of: Dict[int, List[int]] = {}
+        self._accessed: List[int] = []
+        self._accessed_set = set()
+        self._group_fetched = set()
+
+    # ------------------------------------------------------------------
+    def ensure_valid(self, word0: int, nwords: int) -> None:
+        proc = self.proc
+        for page in proc.layout.units_of_range(word0, nwords):
+            if proc.pending.get(page) or not self.access_valid[page]:
+                self._fault(page)
+
+    def _fault(self, page: int) -> None:
+        proc = self.proc
+        self._record_access(page)
+        self._group_fetched.discard(page)
+        group = self.group_of.get(page, [page])
+        fetch_set = [q for q in group if proc.pending.get(q)]
+        if page not in fetch_set and proc.pending.get(page):
+            fetch_set.insert(0, page)
+        self.access_valid[page] = True
+        if fetch_set:
+            for q in fetch_set:
+                if q != page:
+                    self._group_fetched.add(q)
+            proc.fetch(fetch_set)
+        else:
+            # Data already current (it arrived with an earlier group
+            # fetch, or the page was never invalidated): a pure
+            # access-tracking fault.
+            proc.monitoring_fault(page)
+
+    def _record_access(self, page: int) -> None:
+        if page not in self._accessed_set:
+            self._accessed_set.add(page)
+            self._accessed.append(page)
+
+    # ------------------------------------------------------------------
+    def on_sync(self) -> None:
+        """Regroup at a synchronization: hysteresis first (drop members
+        that were group-fetched but never accessed), then re-chunk the
+        pages accessed during the ending interval into new groups of at
+        most ``max_group_pages`` (not necessarily contiguous)."""
+        for page in self._group_fetched:
+            if page not in self._accessed_set:
+                self._remove_from_group(page)
+        self._group_fetched.clear()
+
+        if self._accessed:
+            for page in self._accessed:
+                self._remove_from_group(page)
+            maxg = self.proc.config.max_group_pages
+            for i in range(0, len(self._accessed), maxg):
+                chunk = self._accessed[i : i + maxg]
+                if len(chunk) > 1:
+                    group = list(chunk)
+                    for page in group:
+                        self.group_of[page] = group
+        self._accessed.clear()
+        self._accessed_set.clear()
+
+    def _remove_from_group(self, page: int) -> None:
+        group = self.group_of.pop(page, None)
+        if group is None:
+            return
+        if page in group:
+            group.remove(page)
+        if len(group) == 1:
+            self.group_of.pop(group[0], None)
+
+    def on_invalidate(self, unit: int) -> None:
+        """An invalidated page must fault again on its next access, which
+        re-observes the access pattern."""
+        self.access_valid[unit] = False
+
+
+def make_aggregator(proc: LrcProc) -> Aggregator:
+    """Build the strategy selected by the processor's configuration."""
+    if proc.config.dynamic:
+        return DynamicAggregator(proc)
+    return StaticAggregator(proc)

@@ -1,0 +1,365 @@
+"""The per-processor lazy release consistency protocol engine.
+
+One :class:`LrcProc` per simulated processor holds:
+
+* a private copy of the shared heap (:class:`AddressSpace`),
+* a vector clock of the intervals it has seen,
+* per-unit *pending write notices* -- invalidations received at acquires
+  and barriers that have not yet been satisfied by fetching diffs,
+* the twins of units written in the current interval.
+
+Life cycle of a write, exactly as in TreadMarks:
+
+1. the first write to a unit in an interval makes a *twin* (and pays a
+   memory-protection operation);
+2. at the next synchronization the interval *closes*: each twinned unit
+   is compared to the current contents to create a word-granularity diff,
+   and (proc, interval, unit) write notices are published;
+3. an acquire (or barrier departure) delivers to the acquirer all write
+   notices it has not seen, invalidating the named units;
+4. the first access to an invalid unit faults; the faulting processor
+   requests diffs from every concurrent writer of the unit -- requests to
+   the same writer are combined, distinct writers answer in parallel --
+   applies them in a happens-before-compatible order, and revalidates.
+
+The fetch granularity (one unit, or a dynamic page group) is delegated to
+an aggregation strategy from :mod:`repro.dsm.aggregation`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dsm.address_space import AddressSpace, SharedHeapLayout
+from repro.dsm.diff import Diff, apply_diff, create_diff, merge_diffs
+from repro.dsm.intervals import IntervalStore, WriteNotice
+from repro.dsm.vc import VectorClock
+from repro.sim.clock import Clock
+from repro.sim.config import SimConfig
+from repro.sim.network import MessageClass, Network
+from repro.stats.counters import ProtocolStats
+from repro.stats.words import WordTracker
+
+if TYPE_CHECKING:
+    from repro.dsm.aggregation import Aggregator
+
+#: Fixed bytes of a diff request message plus per-requested-diff entry.
+REQUEST_BASE_BYTES = 8
+REQUEST_ENTRY_BYTES = 12
+
+
+class LrcProc:
+    """Consistency state and protocol actions of one processor."""
+
+    def __init__(
+        self,
+        pid: int,
+        layout: SharedHeapLayout,
+        config: SimConfig,
+        store: IntervalStore,
+        network: Network,
+        stats: ProtocolStats,
+        clock: Clock,
+        credit,
+    ) -> None:
+        self.pid = pid
+        self.layout = layout
+        self.config = config
+        self.store = store
+        self.network = network
+        self.stats = stats
+        self.clock = clock
+        self.space = AddressSpace(layout)
+        self.tracker = WordTracker(layout.nwords, credit)
+        self.vc = VectorClock(config.nprocs)
+        self.pending: Dict[int, List[WriteNotice]] = {}
+        self.twins: Dict[int, np.ndarray] = {}
+        self._twin_persist = set()
+        """Units whose (logical) twin survives from an earlier interval:
+        in TreadMarks a twin persists across releases until the unit is
+        invalidated or its diff is garbage collected, so re-dirtying such
+        a unit in the next interval costs nothing.  Our simulator closes
+        intervals eagerly for correctness but charges twin costs on the
+        real system's schedule."""
+        self.unsent_notices = 0
+        """Write notices created since this processor's last barrier
+        arrival (models the arrival-message payload)."""
+        self.aggregator: Optional["Aggregator"] = None  # wired by the runtime
+
+    # ------------------------------------------------------------------
+    # Application access path
+    # ------------------------------------------------------------------
+    def read_words(self, word0: int, nwords: int) -> np.ndarray:
+        """Shared read of a word range: fault if needed, resolve word
+        usefulness, charge access time, return the raw words."""
+        self._check_range(word0, nwords)
+        self.aggregator.ensure_valid(word0, nwords)
+        self.tracker.on_read(word0, nwords)
+        self.clock.advance(
+            self.config.region_op_us + nwords * self.config.word_access_us
+        )
+        return self.space.read_words(word0, nwords)
+
+    def write_words(self, word0: int, values: np.ndarray) -> None:
+        """Shared write of a word range: fault if needed, twin the
+        covered units on first write, install the values."""
+        nwords = int(values.shape[0])
+        self._check_range(word0, nwords)
+        self.aggregator.ensure_valid(word0, nwords)
+        for unit in self.layout.units_of_range(word0, nwords):
+            if unit not in self.twins:
+                self._make_twin(unit)
+        self.tracker.on_write(word0, nwords)
+        self.space.write_words(word0, values)
+        self.clock.advance(
+            self.config.region_op_us + nwords * self.config.word_access_us
+        )
+
+    def _check_range(self, word0: int, nwords: int) -> None:
+        if word0 < 0 or nwords <= 0 or word0 + nwords > self.layout.nwords:
+            raise IndexError(
+                f"shared access [{word0}, {word0 + nwords}) outside heap "
+                f"of {self.layout.nwords} words"
+            )
+
+    # ------------------------------------------------------------------
+    # Twinning and interval closing
+    # ------------------------------------------------------------------
+    def _make_twin(self, unit: int) -> None:
+        self.twins[unit] = self.space.unit_view(unit).copy()
+        if unit in self._twin_persist:
+            # The real system's twin from an earlier interval is still in
+            # place (no invalidation arrived, no diff was requested):
+            # re-dirtying the unit is free.
+            return
+        self._twin_persist.add(unit)
+        self.stats.twins += 1
+        self.stats.mprotects += 1  # remove write protection
+        self.clock.advance(
+            self.config.mprotect_us
+            + self.layout.unit_bytes * self.config.twin_byte_us
+        )
+
+    def close_interval(self) -> None:
+        """End the current interval (called at every synchronization
+        operation, on the processor's own thread): record per-unit diffs
+        and publish the interval's write notices.
+
+        The simulator materializes the diff data here so a later fetch
+        can be served from any point in the run, but the *cost* of diff
+        creation is charged lazily at fetch time (see :meth:`fetch`), as
+        in TreadMarks, where a release only queues write notices and the
+        word-compare scan happens when a diff is first requested."""
+        if not self.twins:
+            return
+        diffs: Dict[int, Diff] = {}
+        for unit in sorted(self.twins):
+            diffs[unit] = create_diff(
+                unit, self.twins[unit], self.space.unit_view(unit)
+            )
+        self.vc.tick(self.pid)
+        self.store.close_interval(self.pid, self.vc, diffs)
+        self.stats.intervals_closed += 1
+        self.stats.write_notices_sent += len(diffs)
+        self.unsent_notices += len(diffs)
+        self.twins.clear()
+
+    def at_sync_point(self) -> None:
+        """Hook run on the processor's own thread immediately before it
+        parks at any synchronization operation."""
+        self.close_interval()
+        self.aggregator.on_sync()
+
+    # ------------------------------------------------------------------
+    # Invalidation (runs on the scheduler thread while parked)
+    # ------------------------------------------------------------------
+    def apply_notices_upto(self, new_vc: VectorClock) -> tuple:
+        """Receive write notices for every interval covered by ``new_vc``
+        that this processor has not seen; invalidate their units.
+
+        Returns ``(cost_us, payload_bytes, n_notices)`` so the caller can
+        charge the wake-up time and size the carrying message.
+        """
+        newly_invalid = 0
+        n = 0
+        for interval, unit in self.store.notices_between(self.vc, new_vc):
+            if interval.proc == self.pid:
+                raise AssertionError("received a notice for own interval")
+            lst = self.pending.get(unit)
+            if lst is None:
+                lst = self.pending[unit] = []
+            if not lst:
+                newly_invalid += 1
+            lst.append(
+                WriteNotice(
+                    proc=interval.proc,
+                    index=interval.index,
+                    unit=unit,
+                    commit_seq=interval.commit_seq,
+                )
+            )
+            n += 1
+            self._twin_persist.discard(unit)
+            self.aggregator.on_invalidate(unit)
+        self.vc.join(new_vc)
+        cost = newly_invalid * self.config.mprotect_us
+        self.stats.mprotects += newly_invalid
+        return cost, n * self.config.write_notice_bytes, n
+
+    # ------------------------------------------------------------------
+    # Fault service
+    # ------------------------------------------------------------------
+    def fetch(self, units: Sequence[int]) -> None:
+        """Service an access miss by fetching the pending diffs of
+        ``units`` (the faulting unit plus whatever the aggregation
+        strategy bundled with it).
+
+        Requests to the same writer are combined into one exchange;
+        distinct writers are contacted in parallel, so the stall is the
+        maximum (not the sum) of the per-writer response times --- the
+        aggregation advantage of Sections 3 and 4.
+        """
+        by_writer: Dict[int, List[WriteNotice]] = {}
+        for unit in units:
+            for notice in self.pending.get(unit, ()):
+                by_writer.setdefault(notice.proc, []).append(notice)
+        if not by_writer:
+            raise AssertionError(f"fetch with nothing pending: units={units}")
+
+        now = self.clock.now
+        fault_id = len(self.stats.fault_records)
+
+        # Coalesce each writer's diffs as TreadMarks' lazy diffing would:
+        # group the globally commit-ordered notices into maximal runs of
+        # consecutive (writer, unit) entries and merge each run into one
+        # diff (repro.dsm.diff.merge_diffs).  Restricting merging to
+        # *consecutive* runs keeps the apply order a linear extension of
+        # happens-before even when another writer's interval falls
+        # between two intervals of the same writer (migratory data under
+        # locks), where merging across would resurrect stale words.
+        all_notices = sorted(
+            (nt for lst in by_writer.values() for nt in lst),
+            key=lambda x: x.commit_seq,
+        )
+        runs: List[List[WriteNotice]] = []
+        for nt in all_notices:
+            if runs and runs[-1][-1].proc == nt.proc and runs[-1][-1].unit == nt.unit:
+                runs[-1].append(nt)
+            else:
+                runs.append([nt])
+
+        per_writer_runs: Dict[int, List[Diff]] = {w: [] for w in by_writer}
+        to_apply: List[tuple] = []  # (commit order position, writer, diff)
+        writer_diff_cost: Dict[int, float] = {w: 0.0 for w in by_writer}
+        for position, run in enumerate(runs):
+            d = merge_diffs(
+                [self.store.get(nt.proc, nt.index).diff_for(nt.unit) for nt in run]
+            )
+            per_writer_runs[run[0].proc].append(d)
+            to_apply.append((position, run[0].proc, d))
+            # Lazy diffing: the writer scans the unit when a span is
+            # first requested (the cost sits on the response path) and
+            # caches the result; later requests for the same span are
+            # served from the diff cache.
+            cache_key = (run[0].proc, run[0].unit, run[0].index, run[-1].index)
+            if cache_key not in self.store.diff_scan_cache:
+                self.store.diff_scan_cache.add(cache_key)
+                writer_diff_cost[run[0].proc] += (
+                    self.layout.unit_bytes * self.config.diff_create_byte_us
+                )
+                self.stats.diffs_created += 1
+                self.stats.diff_words_created += d.nwords
+
+        # Build the exchanges: normally one per writer carrying all that
+        # writer's runs; with combine_requests disabled (ablation), one
+        # per (writer, run).
+        exchange_plans: List[tuple] = []  # (writer, [run diffs], n_notices)
+        if self.config.combine_requests:
+            for writer in sorted(by_writer):
+                exchange_plans.append(
+                    (writer, per_writer_runs[writer], len(by_writer[writer]))
+                )
+        else:
+            for _pos, writer, d in to_apply:
+                exchange_plans.append((writer, [d], 1))
+
+        stall = 0.0
+        exchange_ids = []
+        reply_of_run: Dict[int, int] = {}  # id(diff) -> reply msg id
+        for writer, run_diffs, n_notices in exchange_plans:
+            ex = self.network.new_exchange(self.pid, writer, fault_id)
+            exchange_ids.append(ex)
+            req_bytes = REQUEST_BASE_BYTES + REQUEST_ENTRY_BYTES * n_notices
+            req = self.network.record(
+                self.pid, writer, MessageClass.DIFF_REQUEST, req_bytes, now, ex
+            )
+            reply_bytes = sum(d.wire_bytes for d in run_diffs)
+            reply_words = sum(d.nwords for d in run_diffs)
+            reply = self.network.record(
+                writer, self.pid, MessageClass.DIFF_REPLY, reply_bytes, now, ex
+            )
+            reply.words_carried = reply_words
+            for d in run_diffs:
+                reply_of_run[id(d)] = reply.msg_id
+            self.network.close_exchange(ex, req.msg_id, reply.msg_id)
+            response_time = (
+                self.config.msg_cost_us(req_bytes)
+                + self.config.diff_service_us
+                + writer_diff_cost[writer]
+                + self.config.msg_cost_us(reply_bytes)
+            )
+            if self.config.parallel_fetch:
+                stall = max(stall, response_time)
+            else:
+                stall += response_time
+
+        # Per-exchange CPU time at the requester (send + receive): wire
+        # latencies overlap across writers, CPU work does not.
+        stall += 2 * self.config.msg_cpu_us * len(exchange_plans)
+
+        # Apply in global commit order.
+        apply_cost = 0.0
+        for _pos, writer, d in to_apply:
+            msg_id = reply_of_run[id(d)]
+            w0, _ = self.layout.unit_word_range(d.unit)
+            apply_diff(d, self.space.unit_view(d.unit))
+            if d.nwords:
+                self.tracker.mark(d.idx.astype(np.int64) + w0, msg_id)
+            apply_cost += d.data_bytes * self.config.diff_apply_byte_us
+            self.stats.diffs_applied += 1
+            self.stats.diff_words_applied += d.nwords
+
+        for unit in units:
+            self.pending.pop(unit, None)
+
+        self.stats.mprotects += len(units)
+        self.stats.record_fault(
+            proc=self.pid,
+            time_us=now,
+            units=tuple(units),
+            writers=len(by_writer),
+            exchange_ids=tuple(exchange_ids),
+        )
+        self.clock.advance(
+            self.config.fault_trap_us
+            + len(units) * self.config.mprotect_us
+            + stall
+            + apply_cost
+        )
+
+    def monitoring_fault(self, unit: int) -> None:
+        """A dynamic-aggregation access-tracking fault: the unit's data is
+        already current, so no messages are exchanged; only the trap and
+        re-protection costs are paid (the Section-4 monitoring overhead)."""
+        self.stats.mprotects += 1
+        self.stats.record_fault(
+            proc=self.pid,
+            time_us=self.clock.now,
+            units=(unit,),
+            writers=0,
+            exchange_ids=(),
+            monitoring=True,
+        )
+        self.clock.advance(self.config.fault_trap_us + self.config.mprotect_us)

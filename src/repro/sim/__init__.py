@@ -1,0 +1,36 @@
+"""Simulated-cluster substrate for the DSM reproduction.
+
+This package provides the deterministic execution substrate that stands in
+for the paper's hardware platform (8 x 166 MHz Pentium, 100 Mbps switched
+Ethernet, UDP/IP):
+
+* :mod:`repro.sim.config` -- the cost model, calibrated against the
+  latency/bandwidth figures measured in Section 5.1 of the paper.
+* :mod:`repro.sim.clock` -- per-processor simulated clocks.
+* :mod:`repro.sim.network` -- message cost accounting and the event log.
+* :mod:`repro.sim.engine` -- a conservative discrete-event scheduler that
+  runs one simulated processor at a time (threads in strict ping-pong with
+  the scheduler), switching only at synchronization operations.
+
+The substrate is deterministic: given the same program and configuration it
+produces bit-identical simulated schedules, message counts, and clocks.
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, Op, OpKind, Resume, DeadlockError, ProcContext
+from repro.sim.network import Network, MessageRecord, MessageClass
+
+__all__ = [
+    "SimConfig",
+    "Clock",
+    "Engine",
+    "Op",
+    "OpKind",
+    "Resume",
+    "DeadlockError",
+    "ProcContext",
+    "Network",
+    "MessageRecord",
+    "MessageClass",
+]

@@ -1,0 +1,40 @@
+"""Per-processor simulated clocks.
+
+Each simulated processor owns a :class:`Clock`, advanced by the DSM layer
+(protocol costs), the network layer (stalls), and the application layer
+(compute charges).  The clock is the source of simulated-time ordering for
+the scheduler in :mod:`repro.sim.engine`.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically non-decreasing simulated clock, in microseconds."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now: float = float(start)
+
+    def advance(self, delta_us: float) -> float:
+        """Advance the clock by ``delta_us`` (must be >= 0); return the
+        new time."""
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by {delta_us} us")
+        self.now += delta_us
+        return self.now
+
+    def advance_to(self, t_us: float) -> float:
+        """Advance the clock to at least ``t_us`` (a stall until an event
+        at absolute time ``t_us``); never moves the clock backwards."""
+        if t_us > self.now:
+            self.now = t_us
+        return self.now
+
+    def reset(self) -> None:
+        """Reset to time zero (used between harness runs)."""
+        self.now = 0.0
+
+    def __repr__(self) -> str:
+        return f"Clock({self.now:.1f}us)"

@@ -1,0 +1,198 @@
+"""Message accounting for the simulated interconnect.
+
+The network layer does not move bytes (the DSM layer patches diffs into
+per-processor memory copies directly); it *accounts*: every protocol
+message is recorded with its source, destination, class, and payload size,
+and the per-message cost model from :class:`repro.sim.config.SimConfig` is
+used by the protocol layer to charge simulated time.
+
+Diff-carrying messages additionally carry word-level usefulness state that
+is resolved retroactively by :mod:`repro.stats.words`; the records created
+here are the unit of classification for the paper's useful / useless
+message breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.config import SimConfig
+
+
+class MessageClass(enum.Enum):
+    """Protocol classes of simulated messages."""
+
+    DIFF_REQUEST = "diff_request"
+    """A (possibly combined) request for diffs sent at an access miss."""
+
+    DIFF_REPLY = "diff_reply"
+    """The reply carrying the requested diffs."""
+
+    LOCK = "lock"
+    """Lock request / forward / grant traffic."""
+
+    BARRIER = "barrier"
+    """Barrier arrival / departure traffic."""
+
+
+#: Message classes whose payload is classified word-by-word into useful and
+#: useless data (the paper's Figures 1 and 2 breakdowns).
+DATA_CLASSES = frozenset({MessageClass.DIFF_REPLY})
+
+#: Message classes counted as synchronization overhead; they are invariant
+#: across consistency-unit sizes.
+SYNC_CLASSES = frozenset({MessageClass.LOCK, MessageClass.BARRIER})
+
+
+@dataclass
+class MessageRecord:
+    """One simulated message.
+
+    ``words_carried`` / ``words_useful`` are only meaningful for
+    :data:`DATA_CLASSES` messages; usefulness resolves as the destination
+    processor reads (useful) or overwrites / never touches (useless) the
+    words a diff installed, per Section 5.3 of the paper.
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    klass: MessageClass
+    payload_bytes: int
+    send_time_us: float
+    exchange_id: Optional[int] = None
+    """Groups the request/reply pair of one fault-time message exchange."""
+
+    words_carried: int = 0
+    words_useful: int = 0
+
+    @property
+    def words_useless(self) -> int:
+        """Words shipped in this message that were never usefully read."""
+        return self.words_carried - self.words_useful
+
+    @property
+    def is_useless(self) -> bool:
+        """A data message is *useless* when it carries no useful word
+        (the paper: "a message that carries no useful data")."""
+        return self.klass in DATA_CLASSES and self.words_useful == 0
+
+
+@dataclass
+class ExchangeRecord:
+    """One fault-time message exchange (request + reply) with one writer.
+
+    The false-sharing signature (Figure 3) is a histogram over the number
+    of exchanges per fault, with each exchange classified useful/useless
+    by its reply's resolved word usefulness.
+    """
+
+    exchange_id: int
+    requester: int
+    writer: int
+    fault_id: int
+    request_msg: int
+    reply_msg: int
+
+
+class Network:
+    """Global message ledger for one simulated run."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.messages: List[MessageRecord] = []
+        self.exchanges: List[ExchangeRecord] = []
+        self._by_class: Dict[MessageClass, int] = {c: 0 for c in MessageClass}
+        self._bytes_by_class: Dict[MessageClass, int] = {c: 0 for c in MessageClass}
+        self._next_exchange = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        src: int,
+        dst: int,
+        klass: MessageClass,
+        payload_bytes: int,
+        send_time_us: float,
+        exchange_id: Optional[int] = None,
+    ) -> MessageRecord:
+        """Record one message; returns its ledger entry."""
+        if src == dst:
+            raise ValueError(f"message to self: proc {src}")
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        rec = MessageRecord(
+            msg_id=len(self.messages),
+            src=src,
+            dst=dst,
+            klass=klass,
+            payload_bytes=payload_bytes,
+            send_time_us=send_time_us,
+            exchange_id=exchange_id,
+        )
+        self.messages.append(rec)
+        self._by_class[klass] += 1
+        self._bytes_by_class[klass] += payload_bytes
+        return rec
+
+    def new_exchange(self, requester: int, writer: int, fault_id: int) -> int:
+        """Open a fault-time exchange; returns its id.  The request and
+        reply messages are attached via :meth:`close_exchange`."""
+        ex_id = self._next_exchange
+        self._next_exchange += 1
+        self.exchanges.append(
+            ExchangeRecord(
+                exchange_id=ex_id,
+                requester=requester,
+                writer=writer,
+                fault_id=fault_id,
+                request_msg=-1,
+                reply_msg=-1,
+            )
+        )
+        return ex_id
+
+    def close_exchange(self, ex_id: int, request_msg: int, reply_msg: int) -> None:
+        """Attach the request and reply message ids to an exchange."""
+        ex = self.exchanges[ex_id]
+        ex.request_msg = request_msg
+        ex.reply_msg = reply_msg
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self, klass: Optional[MessageClass] = None) -> int:
+        """Number of messages recorded (optionally of one class)."""
+        if klass is None:
+            return len(self.messages)
+        return self._by_class[klass]
+
+    def bytes(self, klass: Optional[MessageClass] = None) -> int:
+        """Payload bytes recorded (optionally of one class)."""
+        if klass is None:
+            return sum(self._bytes_by_class.values())
+        return self._bytes_by_class[klass]
+
+    @property
+    def sync_message_count(self) -> int:
+        """Messages attributable to locks and barriers."""
+        return sum(self._by_class[c] for c in SYNC_CLASSES)
+
+    @property
+    def data_message_count(self) -> int:
+        """Messages attributable to fault-time diff traffic."""
+        return sum(
+            self._by_class[c]
+            for c in (MessageClass.DIFF_REQUEST, MessageClass.DIFF_REPLY)
+        )
+
+    def exchange_reply(self, ex_id: int) -> MessageRecord:
+        """The reply message of an exchange (for usefulness queries)."""
+        ex = self.exchanges[ex_id]
+        if ex.reply_msg < 0:
+            raise ValueError(f"exchange {ex_id} was never closed")
+        return self.messages[ex.reply_msg]

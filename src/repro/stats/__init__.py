@@ -1,0 +1,31 @@
+"""Instrumentation: the paper's Section-5.3 measurement methodology.
+
+The paper instruments all loads, stores, and diff applications:
+
+    "After applying a diff to a region of a page, if a word from that
+    region is read before being overwritten, that word is counted as
+    useful data.  If a word is never read or overwritten before being
+    read, it is counted as useless data.  A useless message is a message
+    that carries no useful data."
+
+* :mod:`repro.stats.words` -- per-processor word-usefulness tracker.
+* :mod:`repro.stats.counters` -- protocol event counters and fault records.
+* :mod:`repro.stats.signature` -- the false-sharing signature histogram
+  (Figure 3).
+* :mod:`repro.stats.report` -- the consolidated :class:`RunResult`.
+"""
+
+from repro.stats.words import WordTracker
+from repro.stats.counters import ProtocolStats, FaultRecord
+from repro.stats.signature import FalseSharingSignature, build_signature
+from repro.stats.report import RunResult, CommBreakdown
+
+__all__ = [
+    "WordTracker",
+    "ProtocolStats",
+    "FaultRecord",
+    "FalseSharingSignature",
+    "build_signature",
+    "RunResult",
+    "CommBreakdown",
+]

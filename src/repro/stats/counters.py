@@ -1,0 +1,90 @@
+"""Protocol event counters and per-fault records.
+
+:class:`ProtocolStats` aggregates the low-level consistency actions the
+paper discusses as the non-communication costs of larger units (twinning,
+diffing, memory-protection operations, access faults), and keeps one
+:class:`FaultRecord` per access miss for the false-sharing signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class FaultRecord:
+    """One access miss serviced by the protocol.
+
+    ``writers`` is the number of concurrent writers the faulting
+    processor had to exchange messages with -- ``card(CW(unit))`` in the
+    paper's Section-3 formula; ``exchange_ids`` index the network ledger
+    so the signature can split each exchange into useful / useless after
+    word usefulness resolves."""
+
+    fault_id: int
+    proc: int
+    time_us: float
+    units: tuple
+    writers: int
+    exchange_ids: tuple
+    monitoring: bool = False
+    """True for dynamic-aggregation access-tracking faults that requested
+    no data (the Section-4 monitoring overhead)."""
+
+
+@dataclass
+class ProtocolStats:
+    """Run-wide consistency-action counters."""
+
+    faults: int = 0
+    """Access misses that requested data."""
+
+    monitoring_faults: int = 0
+    """Dynamic-mode faults that requested no data (access tracking)."""
+
+    twins: int = 0
+    """Twin copies created (first write to a unit in an interval)."""
+
+    diffs_created: int = 0
+    diff_words_created: int = 0
+    diffs_applied: int = 0
+    diff_words_applied: int = 0
+
+    mprotects: int = 0
+    """Modelled memory-protection operations."""
+
+    intervals_closed: int = 0
+    write_notices_sent: int = 0
+
+    lock_acquires: int = 0
+    lock_remote_acquires: int = 0
+    barriers: int = 0
+
+    fault_records: List[FaultRecord] = field(default_factory=list)
+
+    def record_fault(
+        self,
+        proc: int,
+        time_us: float,
+        units: tuple,
+        writers: int,
+        exchange_ids: tuple,
+        monitoring: bool = False,
+    ) -> FaultRecord:
+        """Append a fault record and bump the matching counter."""
+        rec = FaultRecord(
+            fault_id=len(self.fault_records),
+            proc=proc,
+            time_us=time_us,
+            units=units,
+            writers=writers,
+            exchange_ids=exchange_ids,
+            monitoring=monitoring,
+        )
+        self.fault_records.append(rec)
+        if monitoring:
+            self.monitoring_faults += 1
+        else:
+            self.faults += 1
+        return rec

@@ -1,0 +1,89 @@
+"""The false-sharing signature (Figure 3).
+
+The paper characterizes applications by "a histogram denoting the
+distribution of the number of concurrent writers (and therefore the
+number of message exchanges) observed at a page fault", with each bar
+split into the useful and useless messages falling in that bucket.  A
+rightward shift of the signature when the consistency unit grows predicts
+a performance loss; an invariant signature predicts a win from
+aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.network import Network
+from repro.stats.counters import ProtocolStats
+
+
+@dataclass
+class SignatureBucket:
+    """Exchanges observed at faults that contacted ``writers`` writers."""
+
+    writers: int
+    faults: int = 0
+    useful_exchanges: int = 0
+    useless_exchanges: int = 0
+
+    @property
+    def exchanges(self) -> int:
+        return self.useful_exchanges + self.useless_exchanges
+
+
+@dataclass
+class FalseSharingSignature:
+    """Histogram over card(CW) at faults, split useful/useless."""
+
+    buckets: Dict[int, SignatureBucket] = field(default_factory=dict)
+
+    def bucket(self, writers: int) -> SignatureBucket:
+        if writers not in self.buckets:
+            self.buckets[writers] = SignatureBucket(writers=writers)
+        return self.buckets[writers]
+
+    @property
+    def total_exchanges(self) -> int:
+        return sum(b.exchanges for b in self.buckets.values())
+
+    @property
+    def max_writers(self) -> int:
+        return max(self.buckets) if self.buckets else 0
+
+    def normalized(self) -> Dict[int, tuple]:
+        """``writers -> (useful_frac, useless_frac)`` of all exchanges,
+        matching Figure 3's normalized bars."""
+        total = self.total_exchanges
+        if total == 0:
+            return {}
+        return {
+            w: (b.useful_exchanges / total, b.useless_exchanges / total)
+            for w, b in sorted(self.buckets.items())
+        }
+
+    def mean_writers(self) -> float:
+        """Exchange-weighted mean of card(CW): a scalar measure of the
+        signature's rightward shift."""
+        total = self.total_exchanges
+        if total == 0:
+            return 0.0
+        return sum(w * b.exchanges for w, b in self.buckets.items()) / total
+
+
+def build_signature(stats: ProtocolStats, network: Network) -> FalseSharingSignature:
+    """Build the signature from fault records once word usefulness has
+    resolved (i.e. after the run completed)."""
+    sig = FalseSharingSignature()
+    for rec in stats.fault_records:
+        if rec.monitoring or rec.writers == 0:
+            continue
+        b = sig.bucket(rec.writers)
+        b.faults += 1
+        for ex_id in rec.exchange_ids:
+            reply = network.exchange_reply(ex_id)
+            if reply.words_useful > 0:
+                b.useful_exchanges += 1
+            else:
+                b.useless_exchanges += 1
+    return sig

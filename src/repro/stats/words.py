@@ -1,0 +1,72 @@
+"""Per-processor word-usefulness tracking (Section 5.3 methodology).
+
+When a diff is applied to a processor's copy of a unit, every word the
+diff installed enters a *pending* state tagged with the id of the message
+that carried it.  The first subsequent local access decides the word's
+fate:
+
+* a **read** of a pending word makes it *useful* -- the carrying message
+  is credited;
+* a **write** (overwrite before any read) clears the word without credit;
+* a word still pending at the end of the run was never read -- useless.
+
+Useless data per message is then ``words_carried - words_useful``, and a
+message with zero useful words is a *useless message*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+class WordTracker:
+    """Tracks pending diff-installed words for one processor.
+
+    ``credit`` is called as ``credit(msg_id, nwords)`` whenever pending
+    words are usefully read; the run harness points it at the network
+    ledger so that message records accumulate their useful-word counts.
+    """
+
+    def __init__(self, nwords: int, credit: Callable[[int, int], None]) -> None:
+        self._owner = np.full(nwords, -1, dtype=np.int32)
+        self._credit = credit
+
+    # ------------------------------------------------------------------
+    # Protocol-side events
+    # ------------------------------------------------------------------
+    def mark(self, word_idx: np.ndarray, msg_id: int) -> None:
+        """Words at global offsets ``word_idx`` were installed by message
+        ``msg_id`` (a diff application).  A word re-installed by a later
+        diff before being read re-tags: the earlier message's copy was
+        overwritten unread, hence useless for that word."""
+        self._owner[word_idx] = msg_id
+
+    # ------------------------------------------------------------------
+    # Application-side events
+    # ------------------------------------------------------------------
+    def on_read(self, word0: int, nwords: int) -> None:
+        """A local read of ``[word0, word0+nwords)``: resolve any pending
+        words in the range as useful."""
+        ids = self._owner[word0 : word0 + nwords]
+        pending = ids >= 0
+        if not pending.any():
+            return
+        hit = ids[pending]
+        msgs, counts = np.unique(hit, return_counts=True)
+        for m, c in zip(msgs.tolist(), counts.tolist()):
+            self._credit(m, c)
+        ids[pending] = -1  # in-place on the view -> clears the tracker
+
+    def on_write(self, word0: int, nwords: int) -> None:
+        """A local write: pending words in the range are overwritten
+        before being read -- cleared without credit (useless)."""
+        self._owner[word0 : word0 + nwords] = -1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Words still pending (will finalize as useless)."""
+        return int(np.count_nonzero(self._owner >= 0))

@@ -1,0 +1,130 @@
+"""Application-specific invariants beyond the checksum."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barnes import _initial_bodies, build_tree, force_on
+from repro.apps.jacobi import _initial_grid, _jacobi_step
+from repro.apps.mgs import _initial_vectors, _mgs_reference
+from repro.apps.tsp import _distances, _greedy_cost, held_karp
+from repro.apps.base import run_app
+from repro.sim.config import SimConfig
+from tests.conftest import tiny_app
+
+
+class TestMGS:
+    def test_reference_is_orthonormal(self):
+        basis = _mgs_reference(_initial_vectors(12, 64))
+        gram = basis @ basis.T
+        assert np.allclose(gram, np.eye(12), atol=1e-4)
+
+    def test_initial_vectors_deterministic(self):
+        assert np.array_equal(_initial_vectors(8, 32), _initial_vectors(8, 32))
+
+
+class TestJacobi:
+    def test_step_preserves_fixed_edges(self):
+        g = _initial_grid(16, 32)
+        new = _jacobi_step(g)
+        assert np.array_equal(new[0], g[0])
+        assert np.array_equal(new[-1], g[-1])
+        assert np.array_equal(new[:, 0], g[:, 0])
+        assert np.array_equal(new[:, -1], g[:, -1])
+
+    def test_step_smooths(self):
+        g = _initial_grid(32, 32)
+        for _ in range(50):
+            g = _jacobi_step(g)
+        interior_var = float(np.var(g[1:-1, 1:-1]))
+        assert interior_var < float(np.var(_initial_grid(32, 32)[1:-1, 1:-1]))
+
+
+class TestTSP:
+    def test_held_karp_small_exact(self):
+        d = np.array(
+            [[0, 1, 9, 9], [1, 0, 1, 9], [9, 1, 0, 1], [9, 9, 1, 0]],
+            dtype=np.int32,
+        )
+        assert held_karp(d) == 1 + 1 + 1 + 9  # 0-1-2-3-0
+
+    def test_greedy_upper_bounds_optimum(self):
+        for n in (6, 8, 10):
+            d = _distances(n)
+            assert _greedy_cost(d) >= held_karp(d)
+
+    def test_distances_symmetric_zero_diagonal(self):
+        d = _distances(9)
+        assert np.array_equal(d, d.T)
+        assert not d.diagonal().any()
+
+
+class TestBarnes:
+    def test_tree_mass_conserved(self):
+        b = _initial_bodies(128)
+        cells = build_tree(b[:, 0:3].copy(), b[:, 9].copy())
+        assert cells[0, 3] == pytest.approx(128.0, rel=1e-5)
+
+    def test_tree_contains_all_bodies(self):
+        b = _initial_bodies(64)
+        cells = build_tree(b[:, 0:3].copy(), b[:, 9].copy())
+        found = set()
+        for cid in range(cells.shape[0]):
+            for s in range(8, 16):
+                ref = int(cells[cid, s])
+                if ref < 0:
+                    found.add(-ref - 1)
+        assert found == set(range(64))
+
+    def test_force_approximates_direct_sum(self):
+        b = _initial_bodies(96)
+        cells = build_tree(b[:, 0:3].copy(), b[:, 9].copy())
+        acc, inter = force_on(
+            0, b[0, 0:3].copy(), lambda c: cells[c], lambda j: b[j, 0:10]
+        )
+        # Direct O(n^2) sum with the same kernel.
+        direct = np.zeros(3, dtype=np.float64)
+        for j in range(1, 96):
+            d = (b[j, 0:3] - b[0, 0:3]).astype(np.float64)
+            r2 = (d * d).sum() + 0.05
+            direct += d * (1.0 / r2**1.5)
+        assert np.allclose(acc, direct, rtol=0.25, atol=0.02)
+        assert 0 < inter <= 96
+
+    def test_morton_order_is_spatially_local(self):
+        b = _initial_bodies(512)
+        # Consecutive bodies should be much closer than random pairs.
+        consec = np.linalg.norm(np.diff(b[:, 0:3], axis=0), axis=1).mean()
+        rng = np.random.default_rng(1)
+        i, j = rng.integers(0, 512, 200), rng.integers(0, 512, 200)
+        rand = np.linalg.norm(b[i, 0:3] - b[j, 0:3], axis=1).mean()
+        assert consec < rand * 0.5
+
+
+class TestILink:
+    def test_signature_has_one_and_max_spikes(self):
+        app, _ = tiny_app("ILINK")
+        res = run_app(app, "CLP", SimConfig(nprocs=8))
+        sig = res.signature.normalized()
+        assert 1 in sig and 7 in sig
+        mass_at_spikes = sum(sum(sig[k]) for k in (1, 7) if k in sig)
+        assert mass_at_spikes > 0.9
+
+    def test_no_useless_messages(self):
+        app, _ = tiny_app("ILINK")
+        res = run_app(app, "CLP", SimConfig(nprocs=8))
+        assert res.comm.useless_messages == 0
+        assert res.comm.piggybacked_useless_bytes > 0
+
+
+class TestWater:
+    def test_signature_mostly_one_or_two_writers(self):
+        app, _ = tiny_app("Water")
+        res = run_app(app, "512", SimConfig(nprocs=8))
+        sig = res.signature.normalized()
+        low = sum(sum(v) for k, v in sig.items() if k <= 2)
+        assert low > 0.7
+
+    def test_private_data_travels_as_piggyback(self):
+        app, _ = tiny_app("Water")
+        res = run_app(app, "512", SimConfig(nprocs=8))
+        assert res.comm.piggybacked_useless_bytes > 0

@@ -1,0 +1,57 @@
+"""Cross-application correctness: DSM result == sequential reference."""
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.sim.config import SimConfig
+from tests.conftest import ALL_APPS, checksum_close, tiny_app
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_tiny_dataset_matches_reference_8procs(name):
+    app, ds = tiny_app(name)
+    ref = app.reference(ds)
+    res = run_app(app, ds, SimConfig(nprocs=8))
+    assert checksum_close(app, res.checksum, ref), (res.checksum, ref)
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_tiny_dataset_matches_reference_2procs(name):
+    app, ds = tiny_app(name)
+    ref = app.reference(ds)
+    res = run_app(app, ds, SimConfig(nprocs=2))
+    assert checksum_close(app, res.checksum, ref), (res.checksum, ref)
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_sequential_run_matches_reference(name):
+    app, ds = tiny_app(name)
+    ref = app.reference(ds)
+    res = run_app(app, ds, SimConfig(nprocs=1))
+    assert checksum_close(app, res.checksum, ref), (res.checksum, ref)
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_deterministic_runs(name):
+    app, ds = tiny_app(name)
+    r1 = run_app(app, ds, SimConfig(nprocs=4))
+    app2, _ = tiny_app(name)
+    r2 = run_app(app2, ds, SimConfig(nprocs=4))
+    assert r1.time_us == r2.time_us
+    assert r1.comm.total_messages == r2.comm.total_messages
+    assert r1.checksum == r2.checksum
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_unknown_dataset_rejected(name):
+    app, _ = tiny_app(name)
+    with pytest.raises(KeyError):
+        app.params("no-such-dataset")
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_heap_fits_datasets(name):
+    app, ds = tiny_app(name)
+    assert app.heap_bytes(ds) > 0
+    for real_ds in app.datasets:
+        assert app.heap_bytes(real_ds) > 0

@@ -1,0 +1,84 @@
+"""Application base-class machinery."""
+
+import pytest
+
+from repro.apps.base import Application, AppRegistry, get_app, run_app
+from repro.sim.config import SimConfig
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert set(AppRegistry.names()) >= {
+            "Barnes", "ILINK", "Jacobi", "MGS", "Shallow", "TSP",
+            "Water", "3D-FFT",
+        }
+
+    def test_get_returns_fresh_instances(self):
+        a = get_app("Jacobi")
+        b = get_app("Jacobi")
+        assert a is not b
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            get_app("NotAnApp")
+
+    def test_unnamed_app_rejected(self):
+        with pytest.raises(ValueError):
+            @AppRegistry.register
+            class Nameless(Application):
+                pass
+
+
+class TestBlockRange:
+    def test_even_split(self):
+        assert Application.block_range(16, 4, 0) == (0, 4)
+        assert Application.block_range(16, 4, 3) == (12, 16)
+
+    def test_uneven_split_covers_everything(self):
+        total, nprocs = 17, 4
+        ranges = [Application.block_range(total, nprocs, p) for p in range(nprocs)]
+        covered = []
+        for lo, hi in ranges:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(total))
+
+    def test_uneven_split_balanced(self):
+        sizes = [
+            hi - lo
+            for lo, hi in (
+                Application.block_range(10, 4, p) for p in range(4)
+            )
+        ]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_procs_than_items(self):
+        ranges = [Application.block_range(2, 4, p) for p in range(4)]
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 2
+        assert all(s >= 0 for s in sizes)
+
+
+class TestParams:
+    def test_params_returns_copy(self):
+        app = get_app("Jacobi")
+        p = app.params("1Kx1K")
+        p["rows"] = -1
+        assert app.params("1Kx1K")["rows"] != -1
+
+    def test_run_app_rejects_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            run_app(get_app("Jacobi"), "nope", SimConfig(nprocs=1))
+
+
+class TestChecksumCollection:
+    def test_collect_checksum_sums_partials(self):
+        from repro.core import TreadMarks
+
+        tmk = TreadMarks(SimConfig(nprocs=4), heap_bytes=4096)
+        handles = {}
+
+        def body(proc):
+            return Application.collect_checksum(proc, handles, proc.id + 1.0)
+
+        res = tmk.run(body)
+        assert res.checksum == 1 + 2 + 3 + 4

@@ -1,0 +1,24 @@
+"""CLI runner smoke tests (fast experiments only)."""
+
+import pytest
+
+from repro.bench.cli import COMMANDS, main
+
+
+def test_commands_cover_all_experiments():
+    assert set(COMMANDS) == {
+        "table1", "figure1", "figure2", "figure3", "micro", "ablation",
+    }
+
+
+def test_micro_via_cli(capsys, tmp_path):
+    rc = main(["micro", "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "microbenchmarks" in out
+    assert (tmp_path / "micro.txt").exists()
+
+
+def test_bad_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])

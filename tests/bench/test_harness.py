@@ -1,0 +1,93 @@
+"""Harness machinery: configs, caching, rendering, CSV."""
+
+import pytest
+
+from repro.bench.harness import (
+    UNIT_LABELS,
+    CaseResult,
+    ResultCache,
+    config_for,
+    render_breakdown_table,
+    render_signature,
+    run_case,
+    write_csv,
+)
+
+
+class TestConfigFor:
+    def test_labels(self):
+        assert config_for("4K").unit_pages == 1
+        assert config_for("8K").unit_pages == 2
+        assert config_for("16K").unit_pages == 4
+        assert config_for("Dyn").dynamic
+        assert config_for("seq").nprocs == 1
+
+    def test_extra_kwargs_flow_through(self):
+        cfg = config_for("Dyn", max_group_pages=2)
+        assert cfg.max_group_pages == 2
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(KeyError):
+            config_for("32K")
+
+
+class TestRunCase:
+    def test_produces_case_result(self):
+        c = run_case("Jacobi", "1Kx1K", "4K")
+        assert isinstance(c, CaseResult)
+        assert c.label == "4K"
+        assert c.time_us > 0
+        assert c.total_messages == (
+            c.useful_messages + c.useless_messages + c.sync_messages
+        )
+
+    def test_seq_label(self):
+        c = run_case("Jacobi", "1Kx1K", "seq")
+        assert c.label == "seq"
+        assert c.total_messages == 0
+
+
+class TestCache:
+    def test_cache_hits_are_identical_objects(self):
+        ResultCache.clear()
+        a = ResultCache.get("Jacobi", "1Kx1K", "4K")
+        b = ResultCache.get("Jacobi", "1Kx1K", "4K")
+        assert a is b
+
+    def test_extra_kwargs_key_cache_separately(self):
+        ResultCache.clear()
+        a = ResultCache.get("Jacobi", "1Kx1K", "Dyn", max_group_pages=2)
+        b = ResultCache.get("Jacobi", "1Kx1K", "Dyn", max_group_pages=8)
+        assert a is not b
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return {
+            label: ResultCache.get("Jacobi", "1Kx1K", label)
+            for label in UNIT_LABELS
+        }
+
+    def test_breakdown_table_contains_all_units(self, cells):
+        text = render_breakdown_table("Jacobi", "1Kx1K", cells)
+        for label in UNIT_LABELS:
+            assert label in text
+        assert "normalized to 4K" in text
+
+    def test_signature_render(self, cells):
+        text = render_signature(cells)
+        assert "[4K]" in text and "[16K]" in text
+        assert "mean writers" in text
+
+    def test_write_csv(self, cells, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert len(lines) == 3
+
+    def test_write_csv_empty_is_noop(self, tmp_path):
+        path = tmp_path / "none.csv"
+        write_csv(path, [])
+        assert not path.exists()

@@ -1,0 +1,45 @@
+"""The Section-5.1 microbenchmark measurements themselves."""
+
+import pytest
+
+from repro.bench.micro import (
+    measure_barrier,
+    measure_diff_fetch,
+    measure_lock,
+    measure_rtt,
+    render,
+    run_all,
+)
+
+
+def test_rtt_matches_paper():
+    assert measure_rtt() == pytest.approx(296.0)
+
+
+def test_barrier_matches_paper():
+    assert measure_barrier(8) == pytest.approx(861.0, rel=0.05)
+
+
+def test_lock_in_paper_band():
+    assert 300.0 <= measure_lock(remote=True) <= 720.0
+
+
+def test_diff_fetch_scales_with_size():
+    small = measure_diff_fetch(64)
+    large = measure_diff_fetch(1024)
+    assert small < large
+    assert 450.0 <= small <= 1800.0
+    assert 450.0 <= large <= 1800.0
+
+
+def test_run_all_in_range():
+    results = run_all()
+    assert len(results) == 5
+    for r in results:
+        assert r.in_range, (r.name, r.measured_us)
+
+
+def test_render_mentions_every_benchmark():
+    text = render(run_all())
+    for needle in ("round trip", "lock", "barrier", "diff fetch"):
+        assert needle in text

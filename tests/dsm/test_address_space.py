@@ -1,0 +1,127 @@
+"""Heap layout, allocator, and geometry helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dsm.address_space import AddressSpace, SharedHeapLayout
+
+
+def layout(heap=65536, page=4096, unit=4096):
+    return SharedHeapLayout(heap, page, unit)
+
+
+class TestLayout:
+    def test_rounds_heap_to_unit_multiple(self):
+        lay = layout(heap=5000, unit=8192)
+        assert lay.heap_bytes == 8192
+        assert lay.nunits == 1
+        assert lay.npages == 2
+
+    def test_unit_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            layout(unit=6000)
+
+    def test_heap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            layout(heap=0)
+
+    def test_geometry_counts(self):
+        lay = layout(heap=16384, unit=8192)
+        assert lay.nwords == 4096
+        assert lay.npages == 4
+        assert lay.nunits == 2
+        assert lay.words_per_unit == 2048
+
+
+class TestMalloc:
+    def test_page_aligned_by_default(self):
+        lay = layout()
+        a = lay.malloc("a", 100)
+        b = lay.malloc("b", 100)
+        assert a.offset == 0
+        assert b.offset == 4096
+
+    def test_word_aligned_packing(self):
+        lay = layout()
+        a = lay.malloc("a", 6, page_align=False)  # rounds to 8 bytes
+        b = lay.malloc("b", 4, page_align=False)
+        assert a.nbytes == 8
+        assert b.offset == 8
+
+    def test_duplicate_name_rejected(self):
+        lay = layout()
+        lay.malloc("x", 8)
+        with pytest.raises(ValueError):
+            lay.malloc("x", 8)
+
+    def test_exhaustion(self):
+        lay = layout(heap=8192)
+        lay.malloc("a", 8192)
+        with pytest.raises(MemoryError):
+            lay.malloc("b", 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            layout().malloc("z", 0)
+
+    def test_lookup(self):
+        lay = layout()
+        lay.malloc("grid", 128)
+        assert "grid" in lay
+        assert lay["grid"].nwords == 32
+
+
+class TestGeometry:
+    def test_unit_of_word(self):
+        lay = layout(heap=16384, unit=8192)
+        assert lay.unit_of_word(0) == 0
+        assert lay.unit_of_word(2047) == 0
+        assert lay.unit_of_word(2048) == 1
+
+    def test_units_of_range_single(self):
+        lay = layout(heap=16384)
+        assert list(lay.units_of_range(0, 1024)) == [0]
+
+    def test_units_of_range_spanning(self):
+        lay = layout(heap=16384)
+        assert list(lay.units_of_range(1000, 100)) == [0, 1]
+
+    def test_units_of_range_exact_boundary(self):
+        lay = layout(heap=16384)
+        assert list(lay.units_of_range(1024, 1024)) == [1]
+
+    def test_empty_range_rejected(self):
+        lay = layout()
+        with pytest.raises(ValueError):
+            lay.units_of_range(0, 0)
+
+    def test_pages_vs_units(self):
+        lay = layout(heap=32768, unit=16384)
+        assert list(lay.pages_of_range(0, 5000)) == [0, 1, 2, 3, 4]
+        assert list(lay.units_of_range(0, 5000)) == [0, 1]
+
+    def test_unit_word_range(self):
+        lay = layout(heap=16384, unit=8192)
+        assert lay.unit_word_range(1) == (2048, 4096)
+
+
+class TestAddressSpace:
+    def test_starts_zeroed(self):
+        sp = AddressSpace(layout())
+        assert not sp.words.any()
+
+    def test_read_returns_copy(self):
+        sp = AddressSpace(layout())
+        got = sp.read_words(0, 4)
+        got[:] = 7
+        assert not sp.words[:4].any()
+
+    def test_write_read_roundtrip(self):
+        sp = AddressSpace(layout())
+        sp.write_words(10, np.array([1, 2, 3], np.uint32))
+        assert list(sp.read_words(10, 3)) == [1, 2, 3]
+
+    def test_unit_view_is_view(self):
+        sp = AddressSpace(layout(heap=16384))
+        sp.unit_view(1)[0] = 42
+        assert sp.words[1024] == 42

@@ -1,0 +1,87 @@
+"""Interval garbage collection: reclaims metadata, never changes
+results."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimConfig, TreadMarks
+from repro.dsm.intervals import IntervalStore
+from repro.dsm.vc import VectorClock
+from repro.apps.base import run_app
+from repro.sim.config import SimConfig as SC
+from tests.conftest import checksum_close, tiny_app
+
+
+def many_barrier_run(gc_threshold):
+    tmk = TreadMarks(
+        SimConfig(nprocs=4, gc_threshold=gc_threshold), heap_bytes=1 << 16
+    )
+    arr = tmk.array("a", (4096,), "uint32")
+
+    def body(proc):
+        total = 0.0
+        for r in range(40):
+            arr.write(proc, proc.id * 64, np.full(8, r, np.uint32))
+            proc.barrier(2 * r)
+            total += float(arr.read(proc, ((proc.id + 1) % 4) * 64, 8).sum())
+            proc.barrier(2 * r + 1)
+        return total
+
+    res = tmk.run(body)
+    return tmk, res
+
+
+def test_gc_reclaims_intervals():
+    tmk, _ = many_barrier_run(gc_threshold=32)
+    assert tmk.store.collected > 0
+    assert tmk.store.count() < tmk.store.collected + tmk.store.count()
+    # Live set stays bounded near the threshold.
+    assert tmk.store.count() <= 32 + 4 * 2  # one round of slack
+
+
+def test_gc_disabled_keeps_everything():
+    tmk, _ = many_barrier_run(gc_threshold=0)
+    assert tmk.store.collected == 0
+    assert tmk.store.count() == sum(
+        tmk.store.closed_count(p) for p in range(4)
+    )
+
+
+def test_gc_does_not_change_results():
+    _, with_gc = many_barrier_run(gc_threshold=16)
+    _, without = many_barrier_run(gc_threshold=0)
+    assert with_gc.checksum == without.checksum
+    assert with_gc.time_us == without.time_us
+    assert with_gc.comm.total_messages == without.comm.total_messages
+
+
+@pytest.mark.parametrize("name", ["Jacobi", "Water", "TSP"])
+def test_gc_transparent_on_applications(name):
+    app, ds = tiny_app(name)
+    ref = app.reference(ds)
+    res = run_app(app, ds, SC(nprocs=8, gc_threshold=64))
+    assert checksum_close(app, res.checksum, ref)
+
+
+def test_collect_respects_references():
+    store = IntervalStore(nprocs=2)
+    from tests.dsm.test_intervals import mkdiff
+
+    for i in range(1, 6):
+        store.close_interval(0, VectorClock([i, 0]), {0: mkdiff(0)})
+    known = VectorClock([5, 0])
+    dropped = store.collect(known, referenced={(0, 3)})
+    assert dropped == 4
+    assert store.get(0, 3).index == 3  # referenced one survives
+    with pytest.raises(KeyError, match="garbage collected"):
+        store.get(0, 2)
+
+
+def test_collect_ignores_unknown_intervals():
+    store = IntervalStore(nprocs=2)
+    from tests.dsm.test_intervals import mkdiff
+
+    store.close_interval(1, VectorClock([0, 1]), {0: mkdiff(0)})
+    dropped = store.collect(VectorClock([0, 0]), referenced=set())
+    assert dropped == 0
+    assert store.count() == 1

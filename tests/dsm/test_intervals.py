@@ -1,0 +1,91 @@
+"""Interval store: closing, retrieval, notice generation."""
+
+import numpy as np
+import pytest
+
+from repro.dsm.diff import create_diff
+from repro.dsm.intervals import IntervalStore
+from repro.dsm.vc import VectorClock
+
+
+def mkdiff(unit=0):
+    return create_diff(
+        unit, np.zeros(4, np.uint32), np.array([1, 0, 0, 0], np.uint32)
+    )
+
+
+@pytest.fixture
+def store():
+    return IntervalStore(nprocs=3)
+
+
+def close(store, proc, vc_entries, units):
+    vc = VectorClock(vc_entries)
+    return store.close_interval(proc, vc, {u: mkdiff(u) for u in units})
+
+
+def test_close_assigns_index_and_commit_seq(store):
+    i1 = close(store, 0, [1, 0, 0], [0])
+    i2 = close(store, 1, [0, 1, 0], [1])
+    assert (i1.proc, i1.index) == (0, 1)
+    assert i2.commit_seq > i1.commit_seq
+
+
+def test_close_requires_ticked_vc(store):
+    with pytest.raises(ValueError):
+        close(store, 0, [2, 0, 0], [0])  # first interval must have vc[0]==1
+
+
+def test_get(store):
+    close(store, 2, [0, 0, 1], [5])
+    assert store.get(2, 1).diffs[5].unit == 5
+    with pytest.raises(KeyError):
+        store.get(2, 2)
+    with pytest.raises(KeyError):
+        store.get(0, 1)
+
+
+def test_count(store):
+    close(store, 0, [1, 0, 0], [0])
+    close(store, 0, [2, 0, 0], [0])
+    close(store, 1, [0, 1, 0], [0])
+    assert store.count() == 3
+    assert store.count(0) == 2
+    assert store.count(2) == 0
+
+
+def test_intervals_between(store):
+    for i in range(1, 5):
+        close(store, 0, [i, 0, 0], [0])
+    got = [iv.index for iv in store.intervals_between(0, 1, 3)]
+    assert got == [2, 3]
+
+
+def test_notices_between_covers_exactly_the_gap(store):
+    close(store, 0, [1, 0, 0], [10, 11])
+    close(store, 1, [0, 1, 0], [11])
+    close(store, 0, [2, 0, 0], [12])
+    old = VectorClock([1, 0, 0])
+    new = VectorClock([2, 1, 0])
+    pairs = {(iv.proc, iv.index, u) for iv, u in store.notices_between(old, new)}
+    assert pairs == {(0, 2, 12), (1, 1, 11)}
+
+
+def test_notices_between_empty_when_equal(store):
+    close(store, 0, [1, 0, 0], [0])
+    vc = VectorClock([1, 0, 0])
+    assert list(store.notices_between(vc, vc)) == []
+
+
+def test_commit_seq_strictly_increasing(store):
+    seqs = [close(store, p, e, [0]).commit_seq
+            for p, e in [(0, [1, 0, 0]), (1, [0, 1, 0]), (2, [0, 0, 1]),
+                         (0, [2, 1, 1])]]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_diff_for_missing_unit_raises(store):
+    iv = close(store, 0, [1, 0, 0], [3])
+    with pytest.raises(KeyError):
+        iv.diff_for(4)

@@ -1,0 +1,221 @@
+"""Protocol-level scenarios through the public runtime.
+
+These tests script tiny multi-processor programs and check the LRC
+invalidate/fetch behaviour, including the paper's Section-3 law:
+
+    messages at a fault = access(U) x card(CW(U))  (exchanges)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SimConfig, TreadMarks
+from repro.sim.network import MessageClass
+
+
+def run(nprocs, body, heap=1 << 16, **cfg):
+    tmk = TreadMarks(SimConfig(nprocs=nprocs, **cfg), heap_bytes=heap)
+    arr = tmk.array("a", (nprocs * 1024,), "uint32")  # one page per proc
+    res = tmk.run(lambda proc: body(proc, arr))
+    return tmk, res
+
+
+def test_write_then_remote_read_moves_data():
+    def body(proc, arr):
+        if proc.id == 0:
+            arr.write(proc, 0, np.arange(1024, dtype=np.uint32))
+        proc.barrier()
+        if proc.id == 1:
+            got = arr.read(proc, 0, 1024)
+            assert np.array_equal(got, np.arange(1024, dtype=np.uint32))
+        proc.barrier()
+
+    run(2, body)
+
+
+def test_no_sync_no_visibility():
+    """Without synchronization, remote writes must stay invisible (LRC)."""
+
+    def body(proc, arr):
+        if proc.id == 0:
+            arr.write(proc, 0, np.full(4, 7, np.uint32))
+        # No barrier: proc 1 reads its own (zero) copy.
+        if proc.id == 1:
+            assert not arr.read(proc, 0, 4).any()
+
+    run(2, body)
+
+
+def test_fault_exchanges_equal_concurrent_writers():
+    """Write-write false sharing: N-1 writers to one page -> the reader's
+    fault exchanges with exactly N-1 processors (Section 3 formula)."""
+    nprocs = 4
+
+    def body(proc, arr):
+        # Procs 1..3 write disjoint words of page 0.
+        if proc.id > 0:
+            arr.write(proc, proc.id * 8, np.full(4, proc.id, np.uint32))
+        proc.barrier()
+        if proc.id == 0:
+            arr.read(proc, 8, 24)  # touches all three writers' words
+        proc.barrier()
+
+    tmk, res = run(nprocs, body)
+    fault = next(r for r in res.stats.fault_records if r.proc == 0)
+    assert fault.writers == 3
+    assert len(fault.exchange_ids) == 3
+    # An exchange is a request + a reply.
+    assert res.comm.data_messages == 6
+
+
+def test_single_writer_single_exchange():
+    def body(proc, arr):
+        if proc.id == 1:
+            arr.write(proc, 0, np.full(1024, 3, np.uint32))
+        proc.barrier()
+        if proc.id == 0:
+            arr.read(proc, 0, 1024)
+        proc.barrier()
+
+    tmk, res = run(2, body)
+    fault = next(r for r in res.stats.fault_records if r.proc == 0)
+    assert fault.writers == 1
+
+
+def test_twin_created_once_per_dirty_interval():
+    def body(proc, arr):
+        if proc.id == 0:
+            for _ in range(10):
+                arr.write(proc, 0, np.full(4, 1, np.uint32))  # same page
+        proc.barrier()
+
+    tmk, res = run(2, body)
+    assert res.stats.twins == 1
+
+
+def test_invalidation_happens_at_acquire_not_at_write():
+    """Processor 1's copy stays valid until it synchronizes."""
+
+    def body(proc, arr):
+        if proc.id == 1:
+            arr.read(proc, 0, 4)  # page valid, zeros
+        proc.barrier()
+        if proc.id == 0:
+            arr.write(proc, 0, np.full(4, 9, np.uint32))
+        if proc.id == 1:
+            # Still before the next synchronization: no fault, old data.
+            assert not arr.read(proc, 0, 4).any()
+        proc.barrier()
+        if proc.id == 1:
+            assert list(arr.read(proc, 0, 4)) == [9, 9, 9, 9]
+        proc.barrier()
+
+    tmk, res = run(2, body)
+
+
+def test_lock_transfers_modifications():
+    def body(proc, arr):
+        if proc.id == 0:
+            proc.acquire(1)
+            arr.write(proc, 0, np.array([proc.id + 10], np.uint32))
+            proc.release(1)
+        proc.barrier()
+        if proc.id == 1:
+            proc.acquire(1)
+            v = int(arr.read(proc, 0, 1)[0])
+            arr.write(proc, 0, np.array([v + 1], np.uint32))
+            proc.release(1)
+        proc.barrier()
+        if proc.id == 0:
+            assert int(arr.read(proc, 0, 1)[0]) == 11
+        proc.barrier()
+
+    run(2, body)
+
+
+def test_concurrent_disjoint_writers_merge():
+    """The multiple-writer protocol merges disjoint concurrent writes."""
+    nprocs = 4
+
+    def body(proc, arr):
+        arr.write(proc, proc.id * 4, np.full(4, proc.id + 1, np.uint32))
+        proc.barrier()
+        got = arr.read(proc, 0, 16)
+        expect = np.repeat(np.arange(1, 5, dtype=np.uint32), 4)
+        assert np.array_equal(got, expect)
+        proc.barrier()
+
+    run(nprocs, body)
+
+
+def test_static_unit_fetches_whole_unit():
+    """With an 8 KB unit, one fault validates both pages."""
+
+    def body(proc, arr):
+        if proc.id == 0:
+            arr.write(proc, 0, np.full(2048, 5, np.uint32))  # 2 pages
+        proc.barrier()
+        if proc.id == 1:
+            arr.read(proc, 0, 4)       # fault: fetches the whole unit
+            arr.read(proc, 1500, 4)    # second page: already valid
+        proc.barrier()
+
+    tmk, res = run(2, body, unit_pages=2)
+    p1_faults = [r for r in res.stats.fault_records if r.proc == 1]
+    assert len(p1_faults) == 1
+
+
+def test_page_units_fetch_separately():
+    def body(proc, arr):
+        if proc.id == 0:
+            arr.write(proc, 0, np.full(2048, 5, np.uint32))
+        proc.barrier()
+        if proc.id == 1:
+            arr.read(proc, 0, 4)
+            arr.read(proc, 1500, 4)
+        proc.barrier()
+
+    tmk, res = run(2, body, unit_pages=1)
+    p1_faults = [r for r in res.stats.fault_records if r.proc == 1]
+    assert len(p1_faults) == 2
+
+
+def test_out_of_bounds_access_rejected():
+    def body(proc, arr):
+        proc.read(10**9, 4)
+
+    with pytest.raises(IndexError):
+        run(1, body)
+
+
+def test_write_fault_fetches_before_twinning():
+    """A write to an invalidated page first fetches pending diffs, so
+    concurrent disjoint writes are never lost (MGS's write faults)."""
+
+    def body(proc, arr):
+        if proc.id == 0:
+            arr.write(proc, 0, np.array([1], np.uint32))
+        proc.barrier()
+        if proc.id == 1:
+            arr.write(proc, 1, np.array([2], np.uint32))  # same page
+        proc.barrier()
+        assert list(arr.read(proc, 0, 2)) == [1, 2]
+        proc.barrier()
+
+    run(2, body)
+
+
+def test_diff_reply_payload_accounts_wire_size():
+    def body(proc, arr):
+        if proc.id == 0:
+            arr.write(proc, 0, np.full(100, 1, np.uint32))
+        proc.barrier()
+        if proc.id == 1:
+            arr.read(proc, 0, 100)
+        proc.barrier()
+
+    tmk, res = run(2, body)
+    replies = [m for m in tmk.network.messages if m.klass is MessageClass.DIFF_REPLY]
+    assert len(replies) == 1
+    assert replies[0].words_carried == 100
+    assert replies[0].payload_bytes >= 400  # data + headers

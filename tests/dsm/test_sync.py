@@ -1,0 +1,153 @@
+"""Lock and barrier semantics through the public runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimConfig, TreadMarks
+from repro.sim.engine import DeadlockError
+from repro.sim.network import MessageClass
+
+
+def run(nprocs, body, **cfg):
+    tmk = TreadMarks(SimConfig(nprocs=nprocs, **cfg), heap_bytes=1 << 16)
+    arr = tmk.array("a", (4096,), "uint32")
+    res = tmk.run(lambda proc: body(proc, arr))
+    return tmk, res
+
+
+class TestLocks:
+    def test_mutual_exclusion_counter(self):
+        """Classic lock-protected increment: no lost updates."""
+
+        def body(proc, arr):
+            for _ in range(5):
+                proc.acquire(3)
+                v = int(arr.read(proc, 0, 1)[0])
+                arr.write(proc, 0, np.array([v + 1], np.uint32))
+                proc.release(3)
+            proc.barrier()
+            return float(arr.read(proc, 0, 1)[0]) if proc.id == 0 else None
+
+        tmk, res = run(4, body)
+        assert res.checksum == 20.0
+
+    def test_cached_reacquire_free_of_messages(self):
+        def body(proc, arr):
+            if proc.id == 0:
+                proc.acquire(1)
+                proc.release(1)
+                proc.acquire(1)
+                proc.release(1)
+            proc.barrier()
+
+        tmk, res = run(2, body)
+        # First acquire: manager grant (proc 0 IS the manager -> local);
+        # re-acquire cached.  No lock messages at all.
+        assert tmk.network.count(MessageClass.LOCK) == 0
+
+    def test_remote_acquire_has_three_hops(self):
+        def body(proc, arr):
+            if proc.id == 1:
+                proc.acquire(1)
+                proc.release(1)
+            proc.barrier()
+            if proc.id == 2:
+                proc.acquire(1)
+                proc.release(1)
+            proc.barrier()
+
+        tmk, res = run(4, body)
+        lock_msgs = [m for m in tmk.network.messages if m.klass is MessageClass.LOCK]
+        # proc1's first acquire: request to manager(0) + grant = 2.
+        # proc2's acquire: request to manager + forward to owner(1) +
+        # grant from 1 to 2 = 3.
+        assert len(lock_msgs) == 5
+
+    def test_release_of_unheld_lock_rejected(self):
+        def body(proc, arr):
+            if proc.id == 0:
+                proc.release(9)
+
+        with pytest.raises(RuntimeError, match="released lock"):
+            run(2, body)
+
+    def test_lock_grant_fifo_under_contention(self):
+        order = []
+
+        def body(proc, arr):
+            proc.compute(us=proc.id * 10.0)  # stagger request times
+            proc.acquire(2)
+            order.append(proc.id)
+            proc.compute(us=500.0)
+            proc.release(2)
+            proc.barrier()
+
+        run(4, body)
+        assert order == [0, 1, 2, 3]
+
+    def test_lock_acquire_counted(self):
+        def body(proc, arr):
+            proc.acquire(proc.id + 10)
+            proc.release(proc.id + 10)
+            proc.barrier()
+
+        tmk, res = run(3, body)
+        assert res.stats.lock_acquires == 3
+
+
+class TestBarriers:
+    def test_barrier_propagates_all_knowledge(self):
+        def body(proc, arr):
+            arr.write(proc, proc.id, np.array([proc.id + 1], np.uint32))
+            proc.barrier()
+            got = arr.read(proc, 0, 4)
+            assert list(got)[: proc.nprocs] == [
+                i + 1 for i in range(proc.nprocs)
+            ]
+            proc.barrier()
+
+        run(4, body)
+
+    def test_barrier_message_count(self):
+        def body(proc, arr):
+            proc.barrier()
+
+        tmk, res = run(8, body)
+        # (n-1) arrivals + (n-1) departures.
+        assert tmk.network.count(MessageClass.BARRIER) == 14
+
+    def test_sequential_barrier_is_free(self):
+        def body(proc, arr):
+            proc.barrier()
+
+        tmk, res = run(1, body)
+        assert tmk.network.count() == 0
+        assert res.time_us == 0.0
+
+    def test_double_arrival_rejected(self):
+        # Two procs at different barrier ids: proc 0 arrives twice at
+        # barrier 0 while proc 1 waits at barrier 1.
+        def body(proc, arr):
+            if proc.id == 0:
+                proc.barrier(0)
+            else:
+                proc.barrier(1)
+
+        with pytest.raises((RuntimeError, DeadlockError)):
+            run(2, body)
+
+    def test_barrier_counted(self):
+        def body(proc, arr):
+            proc.barrier()
+            proc.barrier()
+
+        tmk, res = run(2, body)
+        assert res.stats.barriers == 2
+
+    def test_distinct_barrier_ids_do_not_mix(self):
+        def body(proc, arr):
+            proc.barrier(5)
+            proc.barrier(6)
+
+        tmk, res = run(4, body)
+        assert res.stats.barriers == 2

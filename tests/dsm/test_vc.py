@@ -1,0 +1,78 @@
+"""Vector clock semantics."""
+
+import pytest
+
+from repro.dsm.vc import VectorClock
+
+
+def test_initial_zero():
+    assert list(VectorClock(3)) == [0, 0, 0]
+
+
+def test_from_entries():
+    assert list(VectorClock([1, 2, 3])) == [1, 2, 3]
+
+
+def test_negative_entries_rejected():
+    with pytest.raises(ValueError):
+        VectorClock([1, -1])
+    v = VectorClock(2)
+    with pytest.raises(ValueError):
+        v[0] = -5
+
+
+def test_tick_advances_own_component():
+    v = VectorClock(2)
+    assert v.tick(1) == 1
+    assert v.tick(1) == 2
+    assert list(v) == [0, 2]
+
+
+def test_partial_order():
+    a = VectorClock([1, 0])
+    b = VectorClock([1, 1])
+    assert a <= b
+    assert a < b
+    assert not (b <= a)
+    assert not a.concurrent_with(b)
+
+
+def test_concurrent():
+    a = VectorClock([1, 0])
+    b = VectorClock([0, 1])
+    assert a.concurrent_with(b)
+    assert not a <= b
+    assert not b <= a
+
+
+def test_equality_and_hash():
+    assert VectorClock([1, 2]) == VectorClock([1, 2])
+    assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+    assert VectorClock([1, 2]) != VectorClock([2, 1])
+
+
+def test_join_is_pointwise_max():
+    a = VectorClock([3, 0, 5])
+    a.join(VectorClock([1, 4, 5]))
+    assert list(a) == [3, 4, 5]
+
+
+def test_joined_leaves_original():
+    a = VectorClock([1, 0])
+    j = a.joined(VectorClock([0, 2]))
+    assert list(a) == [1, 0]
+    assert list(j) == [1, 2]
+
+
+def test_copy_is_independent():
+    a = VectorClock([1, 1])
+    b = a.copy()
+    b.tick(0)
+    assert list(a) == [1, 1]
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        VectorClock(2).join(VectorClock(3))
+    with pytest.raises(ValueError):
+        VectorClock(2) <= VectorClock(3)

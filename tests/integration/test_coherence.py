@@ -1,0 +1,32 @@
+"""The key correctness invariant (DESIGN.md #1): every application
+produces the same result under every consistency configuration, and
+matches its sequential reference."""
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.sim.config import SimConfig
+from tests.conftest import ALL_APPS, UNIT_CONFIGS, checksum_close, tiny_app
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+@pytest.mark.parametrize("unit", sorted(UNIT_CONFIGS))
+def test_coherence_invariance(name, unit):
+    app, ds = tiny_app(name)
+    ref = app.reference(ds)
+    res = run_app(app, ds, SimConfig(nprocs=8, **UNIT_CONFIGS[unit]))
+    assert checksum_close(app, res.checksum, ref), (
+        name,
+        unit,
+        res.checksum,
+        ref,
+    )
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_odd_processor_counts(name):
+    """Partitioning must be correct when nothing divides evenly."""
+    app, ds = tiny_app(name)
+    ref = app.reference(ds)
+    res = run_app(app, ds, SimConfig(nprocs=3))
+    assert checksum_close(app, res.checksum, ref), (res.checksum, ref)

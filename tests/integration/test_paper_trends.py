@@ -1,0 +1,155 @@
+"""The paper's headline qualitative results, asserted as tests.
+
+These run the REAL datasets (scaled per DESIGN.md) at 8 processors, so
+they are the slowest tests in the suite; each assertion corresponds to a
+sentence in the paper's Section 5.4/5.5 discussion.
+"""
+
+import pytest
+
+from repro.apps.base import get_app, run_app
+from repro.sim.config import SimConfig
+
+
+def sweep(name, ds):
+    app = get_app(name)
+    out = {}
+    for label, kw in [
+        ("4K", dict(unit_pages=1)),
+        ("8K", dict(unit_pages=2)),
+        ("16K", dict(unit_pages=4)),
+        ("Dyn", dict(dynamic=True)),
+    ]:
+        out[label] = run_app(app, ds, SimConfig(nprocs=8, **kw))
+    return out
+
+
+@pytest.fixture(scope="module")
+def mgs_small():
+    return sweep("MGS", "1Kx1K")
+
+
+@pytest.fixture(scope="module")
+def ilink():
+    return sweep("ILINK", "CLP")
+
+
+class TestMGSDegradation:
+    """MGS: 'The only dramatic performance deterioration ... because of a
+    very large increase in the number of useless messages.'"""
+
+    def test_time_explodes_at_larger_units(self, mgs_small):
+        assert mgs_small["8K"].time_us > 2.0 * mgs_small["4K"].time_us
+        assert mgs_small["16K"].time_us > 2.0 * mgs_small["4K"].time_us
+
+    def test_useless_messages_explode(self, mgs_small):
+        assert mgs_small["4K"].comm.useless_messages == 0
+        assert mgs_small["8K"].comm.useless_messages > 1000
+
+    def test_signature_shifts_right(self, mgs_small):
+        assert mgs_small["4K"].signature.mean_writers() == pytest.approx(1.0)
+        assert mgs_small["16K"].signature.mean_writers() > 2.0
+
+    def test_no_piggyback_at_4k(self, mgs_small):
+        """'demonstrated by the absence of piggybacked useless data at
+        the 4 Kbyte page size'."""
+        assert mgs_small["4K"].comm.piggybacked_useless_bytes == 0
+
+    def test_dynamic_matches_4k_static(self, mgs_small):
+        """'The dynamic scheme performs the same as the static 4 Kbyte
+        page.'"""
+        ratio = mgs_small["Dyn"].time_us / mgs_small["4K"].time_us
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+
+class TestIlinkAggregation:
+    """Ilink: monotone improvement, invariant signature, no useless
+    messages."""
+
+    def test_messages_fall_monotonically(self, ilink):
+        m = {k: v.comm.total_messages for k, v in ilink.items()}
+        assert m["4K"] > m["8K"] > m["16K"]
+
+    def test_time_improves(self, ilink):
+        assert ilink["16K"].time_us < ilink["8K"].time_us < ilink["4K"].time_us
+
+    def test_no_useless_messages_at_any_unit(self, ilink):
+        for res in ilink.values():
+            assert res.comm.useless_messages == 0
+
+    def test_signature_invariant(self, ilink):
+        m4 = ilink["4K"].signature.mean_writers()
+        m16 = ilink["16K"].signature.mean_writers()
+        assert abs(m16 - m4) < 1.0
+
+    def test_dynamic_close_to_best_static(self, ilink):
+        best = min(r.time_us for k, r in ilink.items() if k != "Dyn")
+        assert ilink["Dyn"].time_us <= best * 1.10
+
+
+class TestJacobiUselessData:
+    def test_no_useless_data_at_4k_small(self):
+        res = run_app(get_app("Jacobi"), "1Kx1K", SimConfig(nprocs=8))
+        assert res.comm.useless_messages == 0
+        assert res.comm.piggybacked_useless_bytes == 0
+
+    def test_useless_data_appears_at_8k_small(self):
+        res = run_app(
+            get_app("Jacobi"), "1Kx1K", SimConfig(nprocs=8, unit_pages=2)
+        )
+        assert res.comm.piggybacked_useless_bytes > 0
+        assert res.comm.useless_messages == 0  # never useless messages
+
+
+class TestShallowMixedEffects:
+    def test_small_input_gains_useless_messages_at_8k(self):
+        r4 = run_app(get_app("Shallow"), "1Kx0.5K", SimConfig(nprocs=8))
+        r8 = run_app(
+            get_app("Shallow"), "1Kx0.5K", SimConfig(nprocs=8, unit_pages=2)
+        )
+        assert r4.comm.useless_messages == 0
+        assert r8.comm.useless_messages > 0
+        assert r8.time_us > r4.time_us
+
+    def test_large_input_improves(self):
+        r4 = run_app(get_app("Shallow"), "4Kx0.5K", SimConfig(nprocs=8))
+        r16 = run_app(
+            get_app("Shallow"), "4Kx0.5K", SimConfig(nprocs=8, unit_pages=4)
+        )
+        assert r16.time_us < r4.time_us
+
+
+class TestFFTRegimes:
+    def test_medium_peaks_at_8k(self):
+        r = {
+            up: run_app(
+                get_app("3D-FFT"), "64x64x64", SimConfig(nprocs=8, unit_pages=up)
+            )
+            for up in (1, 2, 4)
+        }
+        assert r[2].time_us < r[1].time_us
+        assert r[4].time_us > r[2].time_us
+
+    def test_small_degrades(self):
+        r1 = run_app(get_app("3D-FFT"), "64x64x32", SimConfig(nprocs=8))
+        r4 = run_app(
+            get_app("3D-FFT"), "64x64x32", SimConfig(nprocs=8, unit_pages=4)
+        )
+        assert r4.time_us > r1.time_us
+
+
+class TestSpeedups:
+    @pytest.mark.parametrize(
+        "name,ds,lo,hi",
+        [
+            ("Barnes", "16K", 2.5, 6.0),
+            ("ILINK", "CLP", 4.0, 7.5),
+            ("Water", "512", 4.0, 7.5),
+        ],
+    )
+    def test_speedup_band(self, name, ds, lo, hi):
+        app = get_app(name)
+        seq = run_app(app, ds, SimConfig(nprocs=1))
+        par = run_app(get_app(name), ds, SimConfig(nprocs=8))
+        sp = seq.time_us / par.time_us
+        assert lo <= sp <= hi, sp

@@ -1,0 +1,78 @@
+"""Property-based tests for the twin/diff machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dsm.diff import apply_diff, create_diff, merge_diffs
+
+words = hnp.arrays(np.uint32, st.integers(4, 256), elements=st.integers(0, 2**32 - 1))
+
+
+@given(words)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_reconstructs_modified(base):
+    rng = np.random.default_rng(int(base.sum()) % 2**31)
+    cur = base.copy()
+    k = rng.integers(0, base.size + 1)
+    if k:
+        cur[rng.choice(base.size, k, replace=False)] ^= 0xDEADBEEF
+    d = create_diff(0, base, cur)
+    target = base.copy()
+    apply_diff(d, target)
+    assert np.array_equal(target, cur)
+
+
+@given(words)
+@settings(max_examples=60, deadline=None)
+def test_diff_indices_sorted_and_minimal(base):
+    cur = base.copy()
+    cur[0] ^= 1
+    d = create_diff(0, base, cur)
+    assert list(d.idx) == sorted(set(d.idx.tolist()))
+    assert d.nwords == int(np.count_nonzero(base != cur))
+
+
+@given(words, st.integers(1, 6), st.data())
+@settings(max_examples=40, deadline=None)
+def test_merge_equals_sequential_application(base, nsteps, data):
+    """Coalescing a chain of same-writer diffs must be equivalent to
+    applying them one by one (lazy-diffing equivalence)."""
+    cur = base.copy()
+    diffs = []
+    for step in range(nsteps):
+        prev = cur.copy()
+        n = data.draw(st.integers(0, base.size))
+        if n:
+            idx = data.draw(
+                st.lists(
+                    st.integers(0, base.size - 1),
+                    min_size=n,
+                    max_size=n,
+                    unique=True,
+                )
+            )
+            cur[np.array(idx)] = step + 1
+        diffs.append(create_diff(0, prev, cur))
+    merged = merge_diffs(diffs)
+
+    via_merged = base.copy()
+    apply_diff(merged, via_merged)
+    via_seq = base.copy()
+    for d in diffs:
+        apply_diff(d, via_seq)
+    assert np.array_equal(via_merged, via_seq)
+    assert np.array_equal(via_merged, cur)
+
+
+@given(words)
+@settings(max_examples=40, deadline=None)
+def test_wire_bytes_bounded(base):
+    cur = base.copy()
+    cur[::2] ^= 5
+    d = create_diff(0, base, cur)
+    # Wire size is at least the data words and at most data + one run
+    # header per word + framing.
+    assert d.wire_bytes >= d.nwords * 4
+    assert d.wire_bytes <= d.nwords * 12 + 16

@@ -1,0 +1,45 @@
+"""Clock semantics."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero():
+    assert Clock().now == 0.0
+
+
+def test_advance_accumulates():
+    c = Clock()
+    c.advance(10.0)
+    c.advance(2.5)
+    assert c.now == pytest.approx(12.5)
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        Clock().advance(-1.0)
+
+
+def test_advance_to_moves_forward():
+    c = Clock(5.0)
+    assert c.advance_to(9.0) == 9.0
+    assert c.now == 9.0
+
+
+def test_advance_to_never_moves_backwards():
+    c = Clock(5.0)
+    c.advance_to(3.0)
+    assert c.now == 5.0
+
+
+def test_reset():
+    c = Clock(42.0)
+    c.reset()
+    assert c.now == 0.0
+
+
+def test_zero_advance_allowed():
+    c = Clock(1.0)
+    c.advance(0.0)
+    assert c.now == 1.0

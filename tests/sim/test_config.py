@@ -1,0 +1,94 @@
+"""SimConfig: calibration arithmetic and validation."""
+
+import pytest
+
+from repro.sim.config import PAPER_PLATFORM, SimConfig
+
+
+class TestDefaults:
+    def test_paper_page_size(self):
+        assert PAPER_PLATFORM.page_size == 4096
+
+    def test_paper_nprocs(self):
+        assert PAPER_PLATFORM.nprocs == 8
+
+    def test_one_byte_round_trip_matches_paper(self):
+        # 296 us RTT for a 1-byte UDP message (Section 5.1); header bytes
+        # model the fixed stack cost, so compare bare latency.
+        assert 2 * PAPER_PLATFORM.msg_latency_us == pytest.approx(296.0)
+
+    def test_barrier_overhead_in_measured_range(self):
+        # 861 us for the 8-processor barrier (Section 5.1).
+        got = PAPER_PLATFORM.barrier_overhead_us(8)
+        assert got == pytest.approx(861.0, rel=0.05)
+
+    def test_lock_acquire_in_measured_range(self):
+        # 374 - 574 us (Section 5.1).
+        lo = PAPER_PLATFORM.lock_acquire_overhead_us(remote=False)
+        hi = PAPER_PLATFORM.lock_acquire_overhead_us(remote=True)
+        assert 330.0 <= lo <= hi <= 620.0
+
+    def test_diff_round_trip_in_measured_range(self):
+        # 579 - 1746 us to obtain a diff (Section 5.1): one request plus
+        # service plus a reply carrying between ~0.5 and ~4 KB.
+        c = PAPER_PLATFORM
+        small = c.msg_cost_us(16) + c.diff_service_us + c.msg_cost_us(512) \
+            + 4096 * c.diff_create_byte_us
+        large = c.msg_cost_us(64) + c.diff_service_us + c.msg_cost_us(4096) \
+            + 16384 * c.diff_create_byte_us
+        assert small >= 450.0
+        assert large <= 1800.0
+
+    def test_bandwidth_is_100mbps(self):
+        # 0.08 us/byte == 12.5 MB/s == 100 Mbps.
+        assert PAPER_PLATFORM.byte_time_us == pytest.approx(0.08)
+
+
+class TestDerived:
+    def test_unit_bytes(self):
+        assert SimConfig(unit_pages=4).unit_bytes == 16384
+
+    def test_words_per_page(self):
+        assert PAPER_PLATFORM.words_per_page == 1024
+
+    def test_words_per_unit(self):
+        assert SimConfig(unit_pages=2).words_per_unit == 2048
+
+    def test_msg_cost_includes_header(self):
+        c = PAPER_PLATFORM
+        assert c.msg_cost_us(0) == pytest.approx(
+            c.msg_latency_us + c.msg_header_bytes * c.byte_time_us
+        )
+
+    def test_msg_cost_scales_with_payload(self):
+        c = PAPER_PLATFORM
+        assert c.msg_cost_us(1000) - c.msg_cost_us(0) == pytest.approx(
+            1000 * c.byte_time_us
+        )
+
+
+class TestValidation:
+    def test_replace_returns_validated_copy(self):
+        c = PAPER_PLATFORM.replace(unit_pages=2)
+        assert c.unit_pages == 2
+        assert PAPER_PLATFORM.unit_pages == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("nprocs", 0),
+            ("nprocs", -1),
+            ("page_size", 0),
+            ("page_size", 4095),
+            ("unit_pages", 0),
+            ("max_group_pages", 0),
+            ("word_size", 8),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            PAPER_PLATFORM.replace(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_PLATFORM.nprocs = 4  # type: ignore[misc]

@@ -1,0 +1,206 @@
+"""Engine: scheduling order, determinism, failure handling.
+
+These tests drive the engine with a minimal hand-written handler (no DSM
+protocol) implementing just enough lock/barrier semantics to exercise
+scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import DeadlockError, Engine, Op, OpKind, Resume
+
+
+class MiniSync:
+    """Tiny lock+barrier handler recording the service order."""
+
+    def __init__(self, nprocs: int, lock_cost: float = 10.0) -> None:
+        self.nprocs = nprocs
+        self.lock_cost = lock_cost
+        self.locks = {}
+        self.barriers = {}
+        self.order = []
+
+    def __call__(self, op: Op):
+        self.order.append((op.kind, op.proc, op.ts))
+        if op.kind is OpKind.FINISH:
+            return ()
+        if op.kind is OpKind.BARRIER:
+            arr = self.barriers.setdefault(op.arg, [])
+            arr.append((op.proc, op.ts))
+            if len(arr) < self.nprocs:
+                return []
+            del self.barriers[op.arg]
+            t = max(ts for _, ts in arr)
+            return [Resume(p, t + 1.0) for p, _ in arr]
+        if op.kind is OpKind.ACQUIRE:
+            lock = self.locks.setdefault(op.arg, {"holder": None, "waiters": deque()})
+            if lock["holder"] is None:
+                lock["holder"] = op.proc
+                return [Resume(op.proc, op.ts + self.lock_cost)]
+            lock["waiters"].append((op.proc, op.ts))
+            return []
+        if op.kind is OpKind.RELEASE:
+            lock = self.locks[op.arg]
+            lock["holder"] = None
+            out = [Resume(op.proc, op.ts + 1.0)]
+            if lock["waiters"]:
+                p, ts = lock["waiters"].popleft()
+                lock["holder"] = p
+                out.append(Resume(p, max(ts, op.ts) + self.lock_cost))
+            return out
+        raise AssertionError(op)
+
+
+def run_engine(nprocs, fns, handler=None):
+    cfg = SimConfig(nprocs=nprocs)
+    eng = Engine(cfg)
+    handler = handler or MiniSync(nprocs)
+    eng.run(fns, handler)
+    return eng, handler
+
+
+def test_single_proc_runs_to_completion():
+    hits = []
+
+    def fn(ctx):
+        hits.append(ctx.pid)
+        ctx.clock.advance(5.0)
+
+    eng, _ = run_engine(1, [fn])
+    assert hits == [0]
+    assert eng.max_clock_us == pytest.approx(5.0)
+
+
+def test_all_procs_run():
+    hits = []
+    fns = [lambda ctx: hits.append(ctx.pid) for _ in range(4)]
+    run_engine(4, fns)
+    assert sorted(hits) == [0, 1, 2, 3]
+
+
+def test_barrier_aligns_clocks():
+    def make(work):
+        def fn(ctx):
+            ctx.clock.advance(work)
+            ctx.engine.park(ctx, OpKind.BARRIER, 0)
+
+        return fn
+
+    eng, _ = run_engine(3, [make(w) for w in (5.0, 50.0, 20.0)])
+    # Everyone leaves at max arrival + 1.
+    for ctx in eng.procs:
+        assert ctx.clock.now == pytest.approx(51.0)
+
+
+def test_lock_granted_in_simulated_request_order():
+    grants = []
+
+    def make(delay):
+        def fn(ctx):
+            ctx.clock.advance(delay)
+            ctx.engine.park(ctx, OpKind.ACQUIRE, 7)
+            grants.append(ctx.pid)
+            ctx.clock.advance(100.0)
+            ctx.engine.park(ctx, OpKind.RELEASE, 7)
+
+        return fn
+
+    # Request times: proc0 at 30, proc1 at 10, proc2 at 20.
+    run_engine(3, [make(30.0), make(10.0), make(20.0)])
+    assert grants == [1, 2, 0]
+
+
+def test_deterministic_schedules():
+    def body(ctx):
+        for i in range(5):
+            ctx.clock.advance(1.0 + ctx.pid)
+            ctx.engine.park(ctx, OpKind.BARRIER, i)
+
+    times = []
+    for _ in range(2):
+        eng, handler = run_engine(4, [body] * 4)
+        times.append(([c.clock.now for c in eng.procs], handler.order))
+    assert times[0] == times[1]
+
+
+def test_exception_in_worker_propagates():
+    def bad(ctx):
+        raise RuntimeError("boom")
+
+    def good(ctx):
+        ctx.engine.park(ctx, OpKind.BARRIER, 0)
+
+    cfg = SimConfig(nprocs=2)
+    eng = Engine(cfg)
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run([bad, good], MiniSync(2))
+
+
+def test_barrier_mismatch_deadlocks():
+    def arrives(ctx):
+        ctx.engine.park(ctx, OpKind.BARRIER, 0)
+
+    def skips(ctx):
+        pass  # finishes without arriving
+
+    cfg = SimConfig(nprocs=2)
+    eng = Engine(cfg)
+    with pytest.raises(DeadlockError):
+        eng.run([arrives, skips], MiniSync(2))
+
+    # Teardown must have unblocked the parked thread.
+    for ctx in eng.procs:
+        assert ctx._thread is not None
+        ctx._thread.join(timeout=1.0)
+        assert not ctx._thread.is_alive()
+
+
+def test_engine_not_reentrant_after_run():
+    eng, _ = run_engine(1, [lambda ctx: None])
+    with pytest.raises(Exception):
+        eng.run([lambda ctx: None], MiniSync(1))
+
+
+def test_wrong_fn_count_rejected():
+    eng = Engine(SimConfig(nprocs=2))
+    with pytest.raises(ValueError):
+        eng.run([lambda ctx: None], MiniSync(2))
+
+
+def test_resume_wakes_at_given_time():
+    def fn(ctx):
+        ctx.engine.park(ctx, OpKind.BARRIER, 0)
+        assert ctx.clock.now == pytest.approx(1.0)  # 0 + barrier cost 1
+
+    run_engine(1, [fn])
+
+
+def test_interleaving_respects_global_time_order():
+    """A processor that races ahead in wall-clock must not be serviced
+    before a slower processor's earlier operation."""
+    order = []
+
+    class Recorder(MiniSync):
+        def __call__(self, op):
+            if op.kind is OpKind.BARRIER:
+                order.append((op.proc, op.ts))
+            return super().__call__(op)
+
+    def make(step):
+        def fn(ctx):
+            for i in range(3):
+                ctx.clock.advance(step)
+                ctx.engine.park(ctx, OpKind.BARRIER, i)
+
+        return fn
+
+    run_engine(2, [make(1.0), make(100.0)], Recorder(2))
+    # Arrivals at each barrier must be recorded in timestamp order.
+    ts = [t for _, t in order]
+    grouped = [sorted(ts[i : i + 2]) for i in range(0, len(ts), 2)]
+    assert ts == [t for pair in grouped for t in pair]

@@ -1,0 +1,84 @@
+"""Word-usefulness tracking (Section 5.3 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.words import WordTracker
+
+
+class Credits:
+    def __init__(self):
+        self.by_msg = {}
+
+    def __call__(self, msg_id, n):
+        self.by_msg[msg_id] = self.by_msg.get(msg_id, 0) + n
+
+
+@pytest.fixture
+def tracked():
+    credits = Credits()
+    return WordTracker(1024, credits), credits
+
+
+def test_read_before_overwrite_is_useful(tracked):
+    tr, credits = tracked
+    tr.mark(np.array([10, 11, 12]), msg_id=5)
+    tr.on_read(10, 2)
+    assert credits.by_msg == {5: 2}
+
+
+def test_overwrite_before_read_is_useless(tracked):
+    tr, credits = tracked
+    tr.mark(np.array([10, 11]), msg_id=5)
+    tr.on_write(10, 2)
+    tr.on_read(10, 2)
+    assert credits.by_msg == {}
+
+
+def test_each_word_credited_once(tracked):
+    tr, credits = tracked
+    tr.mark(np.array([7]), msg_id=1)
+    tr.on_read(7, 1)
+    tr.on_read(7, 1)
+    assert credits.by_msg == {1: 1}
+
+
+def test_remark_supersedes_earlier_message(tracked):
+    """A later diff overwriting a pending word makes the earlier copy
+    useless for that word."""
+    tr, credits = tracked
+    tr.mark(np.array([3, 4]), msg_id=1)
+    tr.mark(np.array([4]), msg_id=2)
+    tr.on_read(3, 2)
+    assert credits.by_msg == {1: 1, 2: 1}
+
+
+def test_partial_read_credits_only_touched_words(tracked):
+    tr, credits = tracked
+    tr.mark(np.arange(100, 200), msg_id=9)
+    tr.on_read(150, 10)
+    assert credits.by_msg == {9: 10}
+    assert tr.pending_count() == 90
+
+
+def test_read_spanning_multiple_messages(tracked):
+    tr, credits = tracked
+    tr.mark(np.array([0, 1]), msg_id=1)
+    tr.mark(np.array([2, 3]), msg_id=2)
+    tr.on_read(0, 4)
+    assert credits.by_msg == {1: 2, 2: 2}
+
+
+def test_unmarked_reads_are_free(tracked):
+    tr, credits = tracked
+    tr.on_read(0, 512)
+    assert credits.by_msg == {}
+
+
+def test_pending_count(tracked):
+    tr, _ = tracked
+    assert tr.pending_count() == 0
+    tr.mark(np.arange(10), msg_id=0)
+    assert tr.pending_count() == 10
+    tr.on_write(0, 5)
+    assert tr.pending_count() == 5
