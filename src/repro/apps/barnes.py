@@ -323,20 +323,27 @@ class Barnes(Application):
                     body_cache[j] = bodies.read(proc, (j, 0), 10)
                 return body_cache[j]
 
+            accs: Dict[int, np.ndarray] = {}
             for i in mine:
                 rec = read_body(i).copy()
                 acc, inter = force_on(i, rec[0:3], read_cell, read_body)
                 proc.compute(flops=inter * FLOPS_PER_INTERACTION)
-                bodies.write(proc, (i, 6), acc)  # fine-grained acc write
+                accs[i] = acc
             proc.barrier()
 
-            # ---- Update phase: owners integrate their bodies.
+            # ---- Update phase: owners integrate their bodies, publishing
+            # the new accelerations with the position/velocity write.
+            # Keeping accelerations private until here means the force
+            # phase is read-only, so traversal reads of remote records
+            # are never concurrent with owner writes (the phases are
+            # race-free under the repro.trace happens-before check).
             for i in mine:
                 rec = bodies.read_row(proc, i)
+                rec[6:9] = accs[i]
                 rec[3:6] = rec[3:6] + rec[6:9] * DT
                 rec[0:3] = rec[0:3] + rec[3:6] * DT
                 proc.compute(flops=12)
-                bodies.write(proc, (i, 0), rec[0:6])
+                bodies.write(proc, (i, 0), rec[0:9])  # fine-grained write
             proc.barrier()
 
         local = 0.0

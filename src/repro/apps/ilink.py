@@ -12,10 +12,13 @@ which this workload reproduces (see DESIGN.md, substitution table):
 * each block is half *likelihood values* and half *per-element scratch*
   (the sparse-bookkeeping the paper's genarrays carry).  Every
   processor reads the **value** halves of every block (very small read
-  granularity, every page accessed by everyone); nobody reads scratch
-  remotely.  Every diff therefore mixes read and unread words: false
-  sharing appears as **piggybacked useless data on useful messages**
-  with almost no useless messages, exactly the paper's Ilink profile;
+  granularity, every page accessed by everyone) in a read phase, then
+  rewrites its own blocks in a barrier-separated update phase; nobody
+  reads scratch remotely.  Every diff therefore mixes read and unread
+  words: false sharing appears as **piggybacked useless data on useful
+  messages** with almost no useless messages, exactly the paper's Ilink
+  profile -- and the phases keep the workload free of happens-before
+  races (verified by the :mod:`repro.trace` detector);
 * the master additionally sums all values and publishes per-array
   totals in a master-only *results* block that slaves read --
   single-writer faults, giving the ``1`` spike of the false-sharing
@@ -77,13 +80,17 @@ class Ilink(Application):
 
         proc.barrier()
         for it in range(iters):
-            # ---- Work phase.  Read the published totals, then walk
-            # every genarray: read the value half of every block (tiny
-            # reads, every page), update own blocks (values + scratch).
+            # ---- Read phase.  Read the published totals, then walk
+            # every genarray reading the value half of every block (tiny
+            # reads, every page).  Own-block values are kept for the
+            # update phase; reads and the owners' updates sit in
+            # different barrier epochs so the workload is free of
+            # happens-before races (checked by the repro.trace detector).
             if it > 0:
                 res = results.read(proc, 0, G).astype(np.float32)
             else:
                 res = np.zeros(G, dtype=np.float32)
+            own_vals = {}
             for g in range(G):
                 acc = np.float32(0.0)
                 for b in range(nblocks):
@@ -91,16 +98,25 @@ class Ilink(Application):
                     vals = pool.read(proc, (g, base), stride)
                     acc = np.float32(acc + vals.sum(dtype=np.float32))
                     if b % P == proc.id:
-                        idx = np.arange(base, base + stride)
-                        new = (vals * np.float32(0.9)
-                               + _contribution(g, idx, it)
-                               + res[g] * np.float32(1e-6)).astype(np.float32)
-                        scratch = (new * np.float32(0.5)).astype(np.float32)
-                        pool.write(proc, (g, base),
-                                   np.concatenate([new, scratch]))
+                        own_vals[(g, b)] = vals
                 # Genetic-likelihood updates are very compute-heavy
                 # (the paper's sequential Ilink runs 1128 s).
                 proc.compute(flops=1500 * (L // (2 * P)))
+            proc.barrier()
+
+            # ---- Update phase: rewrite own blocks (values + scratch).
+            for g in range(G):
+                for b in range(nblocks):
+                    if b % P != proc.id:
+                        continue
+                    base = b * block
+                    idx = np.arange(base, base + stride)
+                    new = (own_vals[(g, b)] * np.float32(0.9)
+                           + _contribution(g, idx, it)
+                           + res[g] * np.float32(1e-6)).astype(np.float32)
+                    scratch = (new * np.float32(0.5)).astype(np.float32)
+                    pool.write(proc, (g, base),
+                               np.concatenate([new, scratch]))
             proc.barrier()
 
             # ---- Master phase: sum every genarray's values, publish.

@@ -56,6 +56,25 @@ COMMANDS: Dict[str, Callable[[], str]] = {
 }
 
 
+def _dump_traces(outdir: pathlib.Path) -> None:
+    """Write Chrome-trace timelines of the figure-1 applications (one
+    traced 4 KB run each) into ``outdir``.  Traced runs bypass the
+    result cache: the recorder is observational, but cached results do
+    not carry one."""
+    from repro.apps.base import get_app, run_app
+    from repro.bench.harness import config_for
+    from repro.trace.export import write_chrome_trace
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    for app_name, dataset in figures.FIGURE1_CASES:
+        res = run_app(
+            get_app(app_name), dataset, config_for("4K", trace=True)
+        )
+        path = outdir / f"{app_name.lower()}-{dataset}-4K.trace.json"
+        write_chrome_trace(path, res.trace, label=f"{app_name}/{dataset} 4K")
+        print(f"wrote {path} ({len(res.trace.events)} events)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -63,8 +82,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
-        choices=sorted(COMMANDS) + ["all"],
+        nargs="*",
+        default=[],
+        metavar="{" + ",".join(sorted(COMMANDS) + ["all"]) + "}",
         help="which experiments to run",
     )
     parser.add_argument(
@@ -73,7 +93,22 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write .txt outputs into (default: print only)",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="also write Chrome-trace timelines of the figure-1 "
+        "applications (viewable in Perfetto) into this directory",
+    )
     args = parser.parse_args(argv)
+    if not args.experiments and args.trace_out is None:
+        parser.error("nothing to do: give experiments and/or --trace-out")
+    for name in args.experiments:
+        if name != "all" and name not in COMMANDS:
+            parser.error(
+                f"unknown experiment {name!r} "
+                f"(choose from {', '.join(sorted(COMMANDS) + ['all'])})"
+            )
 
     names = sorted(COMMANDS) if "all" in args.experiments else args.experiments
     for name in names:
@@ -83,6 +118,8 @@ def main(argv=None) -> int:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.trace_out is not None:
+        _dump_traces(args.trace_out)
     return 0
 
 

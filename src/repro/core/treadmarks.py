@@ -23,6 +23,7 @@ from repro.sim.engine import Engine, ProcContext
 from repro.sim.network import Network
 from repro.stats.counters import ProtocolStats
 from repro.stats.report import RunResult, build_result
+from repro.trace.recorder import TraceRecorder
 
 
 class TreadMarks:
@@ -48,6 +49,15 @@ class TreadMarks:
         self.network = Network(config)
         self.store = IntervalStore(config.nprocs)
         self.stats = ProtocolStats()
+        self.trace: Optional[TraceRecorder] = None
+        if config.trace:
+            self.trace = TraceRecorder(config)
+            self.trace.layout = self.layout
+            self.trace.network = self.network
+            self.trace.app_name = app_name
+            self.trace.dataset = dataset
+            self.engine.trace = self.trace
+            self.network.trace = self.trace
         self.procs: List[LrcProc] = []
         for pid in range(config.nprocs):
             lp = LrcProc(
@@ -60,9 +70,11 @@ class TreadMarks:
                 clock=self.engine.procs[pid].clock,
                 credit=self._credit,
             )
+            lp.trace = self.trace
             lp.aggregator = make_aggregator(lp)
             self.procs.append(lp)
         self.sync = SyncManager(config, self.network, self.procs, self.stats)
+        self.sync.trace = self.trace
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -117,6 +129,7 @@ class TreadMarks:
             stats=self.stats,
             proc_times_us=[ctx.clock.now for ctx in self.engine.procs],
             checksum=checksum if isinstance(checksum, (int, float)) else None,
+            trace=self.trace,
         )
 
     # ------------------------------------------------------------------

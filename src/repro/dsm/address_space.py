@@ -13,7 +13,7 @@ application accesses all operate on word offsets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -90,6 +90,24 @@ class SharedHeapLayout:
 
     def __contains__(self, name: str) -> bool:
         return name in self._allocations
+
+    def allocations(self) -> List[Allocation]:
+        """All allocations, in allocation order."""
+        return list(self._allocations.values())
+
+    def allocation_containing(self, byte_offset: int) -> Optional[Allocation]:
+        """The allocation whose byte range covers ``byte_offset``, or the
+        first allocation starting inside the page of ``byte_offset`` (so
+        page-level attribution labels alignment-gap pages by the array
+        that begins there); None for untouched heap."""
+        page0 = (byte_offset // self.page_size) * self.page_size
+        fallback = None
+        for alloc in self._allocations.values():
+            if alloc.offset <= byte_offset < alloc.offset + alloc.nbytes:
+                return alloc
+            if fallback is None and page0 <= alloc.offset < page0 + self.page_size:
+                fallback = alloc
+        return fallback
 
     # ------------------------------------------------------------------
     # Geometry helpers (word offsets -> pages / units)

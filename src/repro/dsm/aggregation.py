@@ -108,6 +108,14 @@ class DynamicAggregator(Aggregator):
             for q in fetch_set:
                 if q != page:
                     self._group_fetched.add(q)
+            if proc.trace is not None and len(group) > 1:
+                proc.trace.on_group_fetch(
+                    proc.pid,
+                    proc.clock.now,
+                    page,
+                    tuple(group),
+                    tuple(fetch_set),
+                )
             proc.fetch(fetch_set)
         else:
             # Data already current (it arrived with an earlier group
@@ -128,6 +136,10 @@ class DynamicAggregator(Aggregator):
         most ``max_group_pages`` (not necessarily contiguous)."""
         for page in self._group_fetched:
             if page not in self._accessed_set:
+                if self.proc.trace is not None and page in self.group_of:
+                    self.proc.trace.on_group_dissolve(
+                        self.proc.pid, self.proc.clock.now, page
+                    )
                 self._remove_from_group(page)
         self._group_fetched.clear()
 
@@ -141,6 +153,10 @@ class DynamicAggregator(Aggregator):
                     group = list(chunk)
                     for page in group:
                         self.group_of[page] = group
+                    if self.proc.trace is not None:
+                        self.proc.trace.on_group_build(
+                            self.proc.pid, self.proc.clock.now, tuple(group)
+                        )
         self._accessed.clear()
         self._accessed_set.clear()
 

@@ -87,6 +87,10 @@ class LrcProc:
         """Write notices created since this processor's last barrier
         arrival (models the arrival-message payload)."""
         self.aggregator: Optional["Aggregator"] = None  # wired by the runtime
+        self.trace = None
+        """Optional :class:`repro.trace.recorder.TraceRecorder` attached
+        by the runtime.  All hooks below are observer-only: they never
+        advance the clock or touch protocol state."""
 
     # ------------------------------------------------------------------
     # Application access path
@@ -96,6 +100,8 @@ class LrcProc:
         usefulness, charge access time, return the raw words."""
         self._check_range(word0, nwords)
         self.aggregator.ensure_valid(word0, nwords)
+        if self.trace is not None:
+            self.trace.on_access(self.pid, self.clock.now, "read", word0, nwords)
         self.tracker.on_read(word0, nwords)
         self.clock.advance(
             self.config.region_op_us + nwords * self.config.word_access_us
@@ -111,6 +117,8 @@ class LrcProc:
         for unit in self.layout.units_of_range(word0, nwords):
             if unit not in self.twins:
                 self._make_twin(unit)
+        if self.trace is not None:
+            self.trace.on_access(self.pid, self.clock.now, "write", word0, nwords)
         self.tracker.on_write(word0, nwords)
         self.space.write_words(word0, values)
         self.clock.advance(
@@ -137,6 +145,8 @@ class LrcProc:
         self._twin_persist.add(unit)
         self.stats.twins += 1
         self.stats.mprotects += 1  # remove write protection
+        if self.trace is not None:
+            self.trace.on_twin(self.pid, self.clock.now, unit)
         self.clock.advance(
             self.config.mprotect_us
             + self.layout.unit_bytes * self.config.twin_byte_us
@@ -271,6 +281,10 @@ class LrcProc:
                 )
                 self.stats.diffs_created += 1
                 self.stats.diff_words_created += d.nwords
+                if self.trace is not None:
+                    self.trace.on_diff_create(
+                        run[0].proc, self.pid, now, run[0].unit, d.nwords
+                    )
 
         # Build the exchanges: normally one per writer carrying all that
         # writer's runs; with combine_requests disabled (ablation), one
@@ -330,30 +344,71 @@ class LrcProc:
             apply_cost += d.data_bytes * self.config.diff_apply_byte_us
             self.stats.diffs_applied += 1
             self.stats.diff_words_applied += d.nwords
+            if self.trace is not None:
+                pages, page_words = (), ()
+                if d.nwords:
+                    pg, cnt = np.unique(
+                        (d.idx.astype(np.int64) + w0) // self.layout.words_per_page,
+                        return_counts=True,
+                    )
+                    pages = tuple(int(p) for p in pg)
+                    page_words = tuple(int(c) for c in cnt)
+                self.trace.on_diff_apply(
+                    self.pid, now, d.unit, writer, d.nwords, msg_id,
+                    pages, page_words,
+                )
 
         for unit in units:
             self.pending.pop(unit, None)
 
         self.stats.mprotects += len(units)
+        cost = (
+            self.config.fault_trap_us
+            + len(units) * self.config.mprotect_us
+            + stall
+            + apply_cost
+        )
+        trace_eid = None
+        if self.trace is not None:
+            trace_eid = self.trace.on_fault(
+                proc=self.pid,
+                ts=now,
+                fault_id=fault_id,
+                units=tuple(units),
+                writers=len(by_writer),
+                exchange_ids=tuple(exchange_ids),
+                stall_us=stall,
+                cost_us=cost,
+            )
         self.stats.record_fault(
             proc=self.pid,
             time_us=now,
             units=tuple(units),
             writers=len(by_writer),
             exchange_ids=tuple(exchange_ids),
+            trace_eid=trace_eid,
         )
-        self.clock.advance(
-            self.config.fault_trap_us
-            + len(units) * self.config.mprotect_us
-            + stall
-            + apply_cost
-        )
+        self.clock.advance(cost)
 
     def monitoring_fault(self, unit: int) -> None:
         """A dynamic-aggregation access-tracking fault: the unit's data is
         already current, so no messages are exchanged; only the trap and
         re-protection costs are paid (the Section-4 monitoring overhead)."""
         self.stats.mprotects += 1
+        cost = self.config.fault_trap_us + self.config.mprotect_us
+        trace_eid = None
+        if self.trace is not None:
+            trace_eid = self.trace.on_fault(
+                proc=self.pid,
+                ts=self.clock.now,
+                fault_id=len(self.stats.fault_records),
+                units=(unit,),
+                writers=0,
+                exchange_ids=(),
+                stall_us=0.0,
+                cost_us=cost,
+                monitoring=True,
+            )
         self.stats.record_fault(
             proc=self.pid,
             time_us=self.clock.now,
@@ -361,5 +416,6 @@ class LrcProc:
             writers=0,
             exchange_ids=(),
             monitoring=True,
+            trace_eid=trace_eid,
         )
-        self.clock.advance(self.config.fault_trap_us + self.config.mprotect_us)
+        self.clock.advance(cost)

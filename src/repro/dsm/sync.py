@@ -67,6 +67,11 @@ class SyncManager:
         self.locks: Dict[int, LockState] = {}
         self.barrier_arrivals: Dict[int, List[Tuple[int, float]]] = {}
         self._store = procs[0].store if procs else None
+        self.trace = None
+        """Optional :class:`repro.trace.recorder.TraceRecorder` attached
+        by the runtime.  Lock-acquire events are emitted at grant time,
+        so their trace order is the grant order -- the property the
+        happens-before replay relies on.  Observer-only."""
         self.manager_pid = 0
         """Barrier manager and lock manager processor (proc 0, as is
         conventional for the paper's applications)."""
@@ -109,6 +114,8 @@ class SyncManager:
             )
         lock.holder = None
         lock.last_vc = self.procs[op.proc].vc.copy()
+        if self.trace is not None:
+            self.trace.on_lock_release(op.proc, op.ts, op.arg)
         resumes = [Resume(op.proc, op.ts + LOCAL_SYNC_US)]
         if lock.waiters:
             waiter, req_ts = lock.waiters.popleft()
@@ -156,7 +163,12 @@ class SyncManager:
 
         lock.holder = proc
         lock.last_owner = proc
-        return Resume(proc, max(req_ts, avail_ts) + cost)
+        wake_ts = max(req_ts, avail_ts) + cost
+        if self.trace is not None:
+            self.trace.on_lock_acquire(
+                proc, lock.lock_id, req_ts, now, wake_ts, cached
+            )
+        return Resume(proc, wake_ts)
 
     def _record_lock_msg(
         self, src: int, dst: int, payload: int, now: float
@@ -177,6 +189,8 @@ class SyncManager:
                     f"proc {op.proc} arrived twice at barrier {op.arg}"
                 )
         arrivals.append((op.proc, op.ts))
+        if self.trace is not None:
+            self.trace.on_barrier_arrive(op.proc, op.ts, op.arg)
         if len(arrivals) < self.config.nprocs:
             return []
 
@@ -212,7 +226,12 @@ class SyncManager:
                     self.manager_pid, proc, MessageClass.BARRIER,
                     LOCK_REQUEST_BYTES + notice_bytes, last_ts,
                 )
-            resumes.append(Resume(proc, last_ts + overhead + cost))
+            wake_ts = last_ts + overhead + cost
+            if self.trace is not None:
+                self.trace.on_barrier_depart(proc, last_ts, op.arg, wake_ts)
+            resumes.append(Resume(proc, wake_ts))
+        if self.trace is not None:
+            self.trace.on_barrier_complete(op.arg)
 
         # After a barrier everyone's vector clock equals `merged`, so any
         # interval it covers that no pending notice references can never

@@ -142,6 +142,13 @@ class SimConfig:
     by the harness (the paper's totals include them; they are invariant
     across consistency-unit sizes)."""
 
+    trace: bool = False
+    """Record a structured protocol event trace (see :mod:`repro.trace`).
+    Tracing is observer-only: a traced run yields bit-identical simulated
+    times and message counts to the same run untraced (asserted in
+    ``tests/trace/test_zero_cost.py``); the only cost is host memory for
+    the event list."""
+
     gc_threshold: int = 2048
     """Garbage-collect consistency metadata at a barrier once the live
     interval count exceeds this (0 disables).  TreadMarks performs the

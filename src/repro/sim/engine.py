@@ -119,6 +119,10 @@ class Engine:
         ]
         self._heap: List[tuple] = []  # (ts, seq, entry) where entry is Op|Resume
         self._heap_lock = threading.Lock()
+        self.trace = None
+        """Optional :class:`repro.trace.recorder.TraceRecorder` attached
+        by the runtime; park/resume hooks feed the per-processor
+        timeline.  Observer-only: never affects scheduling."""
         self._seq = 0
         self._main_event = threading.Event()
         self._aborting = False
@@ -135,6 +139,8 @@ class Engine:
         Called from the processor's own thread.  On return the
         processor's clock has been advanced to its wake time.
         """
+        if self.trace is not None:
+            self.trace.on_park(ctx.pid, ctx.clock.now, kind.value, arg)
         with self._heap_lock:
             self._seq += 1
             op = Op(kind=kind, proc=ctx.pid, ts=ctx.clock.now, arg=arg, seq=self._seq)
@@ -217,6 +223,8 @@ class Engine:
 
     def _run_segment(self, ctx: ProcContext, wake_ts: float) -> None:
         """Wake ``ctx`` at ``wake_ts`` and block until it parks again."""
+        if self.trace is not None:
+            self.trace.on_resume(ctx.pid, wake_ts)
         ctx.clock.advance_to(wake_ts)
         self._main_event.clear()
         ctx._event.set()

@@ -107,6 +107,10 @@ class Network:
         self._by_class: Dict[MessageClass, int] = {c: 0 for c in MessageClass}
         self._bytes_by_class: Dict[MessageClass, int] = {c: 0 for c in MessageClass}
         self._next_exchange = 0
+        self.trace = None
+        """Optional :class:`repro.trace.recorder.TraceRecorder` attached
+        by the runtime; every recorded message is mirrored as a trace
+        event.  Observer-only: never affects accounting."""
 
     # ------------------------------------------------------------------
     # Recording
@@ -137,6 +141,8 @@ class Network:
         self.messages.append(rec)
         self._by_class[klass] += 1
         self._bytes_by_class[klass] += payload_bytes
+        if self.trace is not None:
+            self.trace.on_message(rec, self.config.msg_cost_us(payload_bytes))
         return rec
 
     def new_exchange(self, requester: int, writer: int, fault_id: int) -> int:

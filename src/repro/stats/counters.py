@@ -9,7 +9,7 @@ diffing, memory-protection operations, access faults), and keeps one
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 
 @dataclass
@@ -31,6 +31,11 @@ class FaultRecord:
     monitoring: bool = False
     """True for dynamic-aggregation access-tracking faults that requested
     no data (the Section-4 monitoring overhead)."""
+
+    trace_eid: Optional[int] = None
+    """Event id of this fault in the run's trace (``SimConfig.trace``),
+    so signature cells can be cross-referenced from the timeline; None
+    when tracing is off."""
 
 
 @dataclass
@@ -71,6 +76,7 @@ class ProtocolStats:
         writers: int,
         exchange_ids: tuple,
         monitoring: bool = False,
+        trace_eid: Optional[int] = None,
     ) -> FaultRecord:
         """Append a fault record and bump the matching counter."""
         rec = FaultRecord(
@@ -81,6 +87,7 @@ class ProtocolStats:
             writers=writers,
             exchange_ids=exchange_ids,
             monitoring=monitoring,
+            trace_eid=trace_eid,
         )
         self.fault_records.append(rec)
         if monitoring:

@@ -76,6 +76,11 @@ class RunResult:
     """Application-defined result digest, used by the coherence-invariance
     tests (must match across unit sizes and the sequential reference)."""
 
+    trace: Optional[object] = None
+    """The run's :class:`repro.trace.recorder.TraceRecorder` when
+    ``config.trace`` was set; None otherwise.  Purely observational --
+    present or absent, every other field is bit-identical."""
+
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -134,6 +139,7 @@ def build_result(
     stats: ProtocolStats,
     proc_times_us: List[float],
     checksum: Optional[float] = None,
+    trace: Optional[object] = None,
 ) -> RunResult:
     """Assemble the final :class:`RunResult` for a finished run."""
     return RunResult(
@@ -146,4 +152,5 @@ def build_result(
         stats=stats,
         signature=build_signature(stats, network),
         checksum=checksum,
+        trace=trace,
     )

@@ -1,0 +1,258 @@
+"""Typed trace event records.
+
+Every event carries the id of the emitting processor (``proc``), the
+simulated timestamp at which it happened (``ts_us``), and a recorder-
+assigned sequence id (``eid``).  The recorder appends events in real
+execution order; because the engine runs exactly one thread at a time,
+that append order is a valid linearization of the run: each processor's
+events appear in its program order, and synchronization events appear in
+the order the scheduler serviced them.  The happens-before detector
+(:mod:`repro.trace.hb`) relies on exactly this property.
+
+Events are plain mutable dataclasses so the recorder can stamp ``eid``
+at emit time; they are not meant to be constructed by anything but the
+hooks (and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+
+@dataclass
+class TraceEvent:
+    """Common header of every trace event."""
+
+    eid: int
+    """Sequence id assigned by the recorder (== index in the event list)."""
+
+    ts_us: float
+    """Simulated time at which the event happened (microseconds)."""
+
+    proc: int
+    """The processor the event belongs to (message events use the
+    sender; diff-create events use the writer that serves the scan)."""
+
+    kind: str = ""
+    """Short event-type tag, fixed per subclass (set in __post_init__)."""
+
+
+@dataclass
+class AccessEvent(TraceEvent):
+    """One application-level shared access (read or write)."""
+
+    op: str = ""
+    """``"read"`` or ``"write"``."""
+
+    word0: int = 0
+    nwords: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = "access"
+
+
+@dataclass
+class FaultEvent(TraceEvent):
+    """One access miss serviced by the protocol (or a dynamic-mode
+    access-tracking fault when ``monitoring`` is true)."""
+
+    fault_id: int = -1
+    units: Tuple[int, ...] = ()
+    writers: int = 0
+    exchange_ids: Tuple[int, ...] = ()
+    stall_us: float = 0.0
+    """Network stall component of the fault (0 for monitoring faults)."""
+
+    cost_us: float = 0.0
+    """Total time charged to the faulting processor (trap + mprotect +
+    stall + diff apply)."""
+
+    monitoring: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "fault"
+
+
+@dataclass
+class TwinEvent(TraceEvent):
+    """A twin copy was created (first write to a unit in an interval)."""
+
+    unit: int = -1
+
+    def __post_init__(self) -> None:
+        self.kind = "twin"
+
+
+@dataclass
+class DiffCreateEvent(TraceEvent):
+    """A writer ran the word-compare scan building a diff (lazy, at the
+    first request for the span; ``proc`` is the writer)."""
+
+    requester: int = -1
+    unit: int = -1
+    nwords: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = "diff_create"
+
+
+@dataclass
+class DiffApplyEvent(TraceEvent):
+    """A fetched diff was patched into the faulting processor's copy."""
+
+    unit: int = -1
+    writer: int = -1
+    nwords: int = 0
+    msg_id: int = -1
+    """The reply message that carried the diff."""
+
+    pages: Tuple[int, ...] = ()
+    """Hardware pages the diff's words fall in."""
+
+    page_words: Tuple[int, ...] = ()
+    """Words installed per entry of ``pages`` (same order)."""
+
+    def __post_init__(self) -> None:
+        self.kind = "diff_apply"
+
+
+@dataclass
+class MessageEvent(TraceEvent):
+    """One simulated protocol message (``proc`` is the sender)."""
+
+    msg_id: int = -1
+    src: int = -1
+    dst: int = -1
+    klass: str = ""
+    payload_bytes: int = 0
+    recv_ts_us: float = 0.0
+    """Send time plus the cost-model wire time (for flow arrows; the
+    protocol charges this same quantity, so it is purely derived)."""
+
+    exchange_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.kind = "message"
+
+
+@dataclass
+class LockAcquireEvent(TraceEvent):
+    """A lock was granted to ``proc`` (``ts_us`` is the grant time; the
+    recorder order of acquire events is the grant order, which the
+    happens-before replay uses)."""
+
+    lock_id: int = -1
+    req_ts_us: float = 0.0
+    """When the requester parked at the acquire."""
+
+    wake_ts_us: float = 0.0
+    """When the requester resumes (grant + protocol costs)."""
+
+    cached: bool = False
+    """True for a free re-acquire by the last owner."""
+
+    def __post_init__(self) -> None:
+        self.kind = "lock_acquire"
+
+
+@dataclass
+class LockReleaseEvent(TraceEvent):
+    """``proc`` released a lock."""
+
+    lock_id: int = -1
+
+    def __post_init__(self) -> None:
+        self.kind = "lock_release"
+
+
+@dataclass
+class BarrierArriveEvent(TraceEvent):
+    """``proc`` arrived at a barrier."""
+
+    barrier_id: int = -1
+    instance: int = 0
+    """Which occurrence of this barrier id (0-based)."""
+
+    def __post_init__(self) -> None:
+        self.kind = "barrier_arrive"
+
+
+@dataclass
+class BarrierDepartEvent(TraceEvent):
+    """``proc`` departs a completed barrier (``ts_us`` is the last
+    arrival time, ``wake_ts_us`` when this processor actually resumes)."""
+
+    barrier_id: int = -1
+    instance: int = 0
+    wake_ts_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.kind = "barrier_depart"
+
+
+@dataclass
+class GroupBuildEvent(TraceEvent):
+    """Dynamic aggregation formed a page group at a synchronization."""
+
+    pages: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.kind = "group_build"
+
+
+@dataclass
+class GroupFetchEvent(TraceEvent):
+    """A fault on one member fetched the pending diffs of its group."""
+
+    page: int = -1
+    group: Tuple[int, ...] = ()
+    fetched: Tuple[int, ...] = ()
+    """The members that actually had pending diffs to fetch."""
+
+    def __post_init__(self) -> None:
+        self.kind = "group_fetch"
+
+
+@dataclass
+class GroupDissolveEvent(TraceEvent):
+    """Hysteresis dropped a page from its group (group-fetched but never
+    accessed during the interval)."""
+
+    page: int = -1
+
+    def __post_init__(self) -> None:
+        self.kind = "group_dissolve"
+
+
+@dataclass
+class ParkEvent(TraceEvent):
+    """A processor parked at a synchronization operation (engine level)."""
+
+    op_kind: str = ""
+    """``acquire`` / ``release`` / ``barrier`` / ``finish``."""
+
+    arg: int = 0
+    """Lock or barrier id."""
+
+    def __post_init__(self) -> None:
+        self.kind = "park"
+
+
+@dataclass
+class ResumeEvent(TraceEvent):
+    """The scheduler woke a processor at ``ts_us``."""
+
+    def __post_init__(self) -> None:
+        self.kind = "resume"
+
+
+def event_to_dict(ev: TraceEvent) -> dict:
+    """Flat JSON-serializable dict of one event (for JSONL export)."""
+    out = {}
+    for f in fields(ev):
+        v = getattr(ev, f.name)
+        if isinstance(v, tuple):
+            v = list(v)
+        out[f.name] = v
+    return out

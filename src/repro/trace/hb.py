@@ -1,0 +1,351 @@
+"""Vector-clock happens-before race detection over the access trace.
+
+The detector replays a recorded event stream and checks the classic
+data-race condition for release-consistent programs: two accesses to the
+same shared word from different processors, at least one a write, that
+are not ordered by the synchronization operations of the run.  A racy
+program has no well-defined semantics under lazy release consistency
+(its outcome depends on protocol timing), so the stock applications must
+all verify race-free -- this is the correctness oracle the paper's
+methodology silently assumes.
+
+Replay model (segment / epoch detection, as in FastTrack-style
+detectors, but over the trace instead of live execution):
+
+* Each processor's access stream is cut into *segments* at its
+  synchronization events; all accesses in a segment share one vector
+  timestamp.
+* Lock semantics: a release stores the releaser's clock in the lock's
+  clock; a grant joins the lock's clock into the acquirer's.  Acquire
+  events appear in the trace in grant order (the recorder emits them on
+  the scheduler thread), so the replayed lock clock sees releases and
+  grants in their true protocol order.
+* Barrier semantics: every arrival joins into the instance's
+  accumulator; every departure joins the accumulator back.  Arrive
+  events of an instance all precede its depart events in the trace.
+* Two segments from different processors are concurrent iff neither
+  vector timestamp is pointwise <= the other; a race is a word-range
+  overlap between a write set and a read-or-write set of two concurrent
+  segments.
+
+Complexity: O(accesses) to build segments plus O(S^2) concurrent-pair
+interval intersection over the S non-empty segments -- small, because
+segments are per (processor, synchronization interval), not per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.events import TraceEvent
+
+if False:  # TYPE_CHECKING without the import cost at runtime
+    from repro.dsm.address_space import SharedHeapLayout
+
+
+# ----------------------------------------------------------------------
+# Interval sets (half-open word ranges)
+# ----------------------------------------------------------------------
+def coalesce(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and merge overlapping/adjacent [w0, w1) ranges."""
+    if not ranges:
+        return []
+    ranges = sorted(ranges)
+    out = [ranges[0]]
+    for w0, w1 in ranges[1:]:
+        p0, p1 = out[-1]
+        if w0 <= p1:
+            if w1 > p1:
+                out[-1] = (p0, w1)
+        else:
+            out.append((w0, w1))
+    return out
+
+
+def first_overlap(
+    a: Sequence[Tuple[int, int]], b: Sequence[Tuple[int, int]]
+) -> Optional[Tuple[int, int]]:
+    """First overlapping [w0, w1) of two coalesced range lists, or None."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        a0, a1 = a[i]
+        b0, b1 = b[j]
+        lo, hi = max(a0, b0), min(a1, b1)
+        if lo < hi:
+            return lo, hi
+        if a1 <= b1:
+            i += 1
+        else:
+            j += 1
+    return None
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+@dataclass
+class Segment:
+    """All accesses of one processor between two of its sync events."""
+
+    proc: int
+    index: int
+    """Per-processor segment number (program order)."""
+
+    clock: Tuple[int, ...]
+    """Vector timestamp shared by every access in the segment."""
+
+    start_ts_us: float
+    reads: List[Tuple[int, int]] = field(default_factory=list)
+    writes: List[Tuple[int, int]] = field(default_factory=list)
+    accesses: List[Tuple[int, str, int, int]] = field(default_factory=list)
+    """Raw (eid, op, word0, nwords) list, for race attribution."""
+
+    @property
+    def empty(self) -> bool:
+        return not self.reads and not self.writes
+
+    def seal(self) -> None:
+        """Coalesce the read/write interval sets (call once, at close)."""
+        self.reads = coalesce(self.reads)
+        self.writes = coalesce(self.writes)
+
+
+def _leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def _concurrent(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    return not _leq(a, b) and not _leq(b, a)
+
+
+def build_segments(
+    events: Sequence[TraceEvent], nprocs: int
+) -> List[Segment]:
+    """Replay the sync events and cut each processor's accesses into
+    vector-timestamped segments."""
+    clocks: List[List[int]] = [[0] * nprocs for _ in range(nprocs)]
+    for p in range(nprocs):
+        clocks[p][p] = 1
+    lock_clocks: Dict[int, List[int]] = {}
+    barrier_acc: Dict[int, List[int]] = {}
+    barrier_departs: Dict[int, int] = {}
+
+    segments: List[Segment] = []
+    current: List[Segment] = [
+        Segment(proc=p, index=0, clock=tuple(clocks[p]), start_ts_us=0.0)
+        for p in range(nprocs)
+    ]
+    counts = [1] * nprocs
+
+    def close_and_restart(p: int, ts: float) -> None:
+        seg = current[p]
+        if not seg.empty:
+            seg.seal()
+            segments.append(seg)
+        current[p] = Segment(
+            proc=p, index=counts[p], clock=tuple(clocks[p]), start_ts_us=ts
+        )
+        counts[p] += 1
+
+    def join_into(dst: List[int], src: Sequence[int]) -> None:
+        for i, v in enumerate(src):
+            if v > dst[i]:
+                dst[i] = v
+
+    for ev in events:
+        kind = ev.kind
+        if kind == "access":
+            seg = current[ev.proc]
+            span = (ev.word0, ev.word0 + ev.nwords)
+            if ev.op == "read":
+                seg.reads.append(span)
+            else:
+                seg.writes.append(span)
+            seg.accesses.append((ev.eid, ev.op, ev.word0, ev.nwords))
+        elif kind == "lock_acquire":
+            p = ev.proc
+            lc = lock_clocks.get(ev.lock_id)
+            if lc is not None:
+                join_into(clocks[p], lc)
+            clocks[p][p] += 1
+            close_and_restart(p, ev.ts_us)
+        elif kind == "lock_release":
+            p = ev.proc
+            lock_clocks[ev.lock_id] = list(clocks[p])
+            clocks[p][p] += 1
+            close_and_restart(p, ev.ts_us)
+        elif kind == "barrier_arrive":
+            p = ev.proc
+            acc = barrier_acc.setdefault(ev.barrier_id, [0] * nprocs)
+            join_into(acc, clocks[p])
+        elif kind == "barrier_depart":
+            p = ev.proc
+            acc = barrier_acc.get(ev.barrier_id)
+            if acc is not None:
+                join_into(clocks[p], acc)
+            clocks[p][p] += 1
+            close_and_restart(p, ev.wake_ts_us)
+            n = barrier_departs.get(ev.barrier_id, 0) + 1
+            if n >= nprocs:
+                # Instance complete: reset for the next occurrence.
+                barrier_acc.pop(ev.barrier_id, None)
+                barrier_departs.pop(ev.barrier_id, None)
+            else:
+                barrier_departs[ev.barrier_id] = n
+
+    for p in range(nprocs):
+        seg = current[p]
+        if not seg.empty:
+            seg.seal()
+            segments.append(seg)
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Race detection
+# ----------------------------------------------------------------------
+@dataclass
+class Race:
+    """One detected pair of conflicting, unordered shared accesses."""
+
+    word0: int
+    """First racing word (global heap word offset)."""
+
+    nwords: int
+    """Size of the contiguous racing overlap."""
+
+    page: int
+    """Hardware page of ``word0`` (-1 when no layout was given)."""
+
+    byte_offset: int
+    """Heap byte offset of ``word0``."""
+
+    allocation: str
+    """Allocation label covering the racing word ('' without a layout)."""
+
+    proc_a: int
+    op_a: str
+    eid_a: int
+    proc_b: int
+    op_b: str
+    eid_b: int
+
+    def describe(self) -> str:
+        where = f"word {self.word0}"
+        if self.page >= 0:
+            where += f" (page {self.page}"
+            if self.allocation:
+                where += f", {self.allocation!r}"
+            where += ")"
+        return (
+            f"{where}: P{self.proc_a} {self.op_a} (event {self.eid_a}) is "
+            f"concurrent with P{self.proc_b} {self.op_b} (event {self.eid_b})"
+            f" over {self.nwords} word(s)"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one happens-before check."""
+
+    nprocs: int
+    segments_checked: int
+    pairs_checked: int
+    races: List[Race] = field(default_factory=list)
+    truncated: bool = False
+    """True when detection stopped at ``max_races``."""
+
+    @property
+    def race_free(self) -> bool:
+        return not self.races
+
+    def render(self) -> str:
+        head = (
+            f"happens-before check: {len(self.races)} race(s) over "
+            f"{self.segments_checked} segments "
+            f"({self.pairs_checked} concurrent pairs examined)"
+        )
+        if self.race_free:
+            return head + " -- race-free"
+        lines = [head + (" [truncated]" if self.truncated else "")]
+        lines += ["  " + r.describe() for r in self.races]
+        return "\n".join(lines)
+
+
+def _attribute(
+    seg: Segment, op_set: str, w0: int, w1: int
+) -> Tuple[str, int]:
+    """(op, eid) of a raw access in ``seg`` covering [w0, w1) from the
+    given set ('write' or 'any')."""
+    for eid, op, a0, n in seg.accesses:
+        if op_set == "write" and op != "write":
+            continue
+        if a0 < w1 and a0 + n > w0:
+            return op, eid
+    return ("write" if op_set == "write" else "read"), -1
+
+
+def detect_races(
+    events: Sequence[TraceEvent],
+    nprocs: int,
+    layout: Optional["SharedHeapLayout"] = None,
+    max_races: int = 100,
+) -> RaceReport:
+    """Replay ``events`` and report all pairs of conflicting shared
+    accesses unordered by synchronization (up to ``max_races``)."""
+    segments = build_segments(events, nprocs)
+    report = RaceReport(nprocs=nprocs, segments_checked=len(segments), pairs_checked=0)
+
+    def describe_word(w: int) -> Tuple[int, int, str]:
+        byte = w * 4
+        if layout is None:
+            return -1, byte, ""
+        page = byte // layout.page_size
+        label = ""
+        alloc = layout.allocation_containing(byte)
+        if alloc is not None:
+            label = alloc.name
+        return page, byte, label
+
+    for i, a in enumerate(segments):
+        for b in segments[i + 1 :]:
+            if a.proc == b.proc:
+                continue
+            if not a.writes and not b.writes:
+                continue
+            if not _concurrent(a.clock, b.clock):
+                continue
+            report.pairs_checked += 1
+            # write/write, write/read, read/write
+            for a_set, b_set, a_kind, b_kind in (
+                (a.writes, b.writes, "write", "write"),
+                (a.writes, b.reads, "write", "any"),
+                (a.reads, b.writes, "any", "write"),
+            ):
+                hit = first_overlap(a_set, b_set)
+                if hit is None:
+                    continue
+                w0, w1 = hit
+                page, byte, label = describe_word(w0)
+                op_a, eid_a = _attribute(a, a_kind, w0, w1)
+                op_b, eid_b = _attribute(b, b_kind, w0, w1)
+                report.races.append(
+                    Race(
+                        word0=w0,
+                        nwords=w1 - w0,
+                        page=page,
+                        byte_offset=byte,
+                        allocation=label,
+                        proc_a=a.proc,
+                        op_a=op_a,
+                        eid_a=eid_a,
+                        proc_b=b.proc,
+                        op_b=op_b,
+                        eid_b=eid_b,
+                    )
+                )
+                if len(report.races) >= max_races:
+                    report.truncated = True
+                    return report
+    return report

@@ -1,0 +1,81 @@
+"""Per-page false-sharing attribution."""
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.sim.config import SimConfig
+from repro.trace.attribution import attribute_pages, render_attribution
+
+from tests.conftest import tiny_app
+
+
+@pytest.fixture(scope="module")
+def mgs_8k():
+    """MGS at an 8 KB unit: the paper's useless-message explosion."""
+    app, ds = tiny_app("MGS")
+    return run_app(app, ds, SimConfig(nprocs=8, unit_pages=2, trace=True))
+
+
+@pytest.fixture(scope="module")
+def jacobi_4k():
+    app, ds = tiny_app("Jacobi")
+    return run_app(app, ds, SimConfig(nprocs=8, unit_pages=1, trace=True))
+
+
+def test_rows_are_ranked_by_useless_bytes(mgs_8k):
+    rows = attribute_pages(mgs_8k.trace)
+    keys = [(-r.useless_words, r.page) for r in rows]
+    assert keys == sorted(keys)
+
+
+def test_useless_traffic_localized_with_labels(mgs_8k):
+    rows = attribute_pages(mgs_8k.trace)
+    assert mgs_8k.comm.useless_messages > 0  # precondition of the scenario
+    assert any(r.useless_words > 0 for r in rows)
+    top = rows[0]
+    assert top.useless_words > 0
+    assert top.allocation != ""
+
+
+def test_totals_match_diff_traffic(mgs_8k):
+    rows = attribute_pages(mgs_8k.trace)
+    total_words = sum(r.words_received for r in rows)
+    applied = sum(ev.nwords for ev in mgs_8k.trace.by_kind("diff_apply"))
+    assert total_words == applied
+    for r in rows:
+        assert r.useful_words + r.useless_words == pytest.approx(r.words_received)
+
+
+def test_useless_message_count_is_conserved(mgs_8k):
+    rows = attribute_pages(mgs_8k.trace)
+    attributed = sum(r.useless_messages for r in rows)
+    # Each useless *exchange* counts two messages (request + reply) in
+    # the run breakdown but attributes its one data-carrying reply.
+    assert attributed == pytest.approx(mgs_8k.comm.useless_messages / 2)
+
+
+def test_no_useless_attribution_when_run_has_none(jacobi_4k):
+    assert jacobi_4k.comm.useless_messages == 0
+    assert jacobi_4k.comm.piggybacked_useless_bytes == 0
+    rows = attribute_pages(jacobi_4k.trace)
+    assert rows, "Jacobi still ships useful boundary diffs"
+    assert all(r.useless_words == pytest.approx(0.0) for r in rows)
+    assert all(r.useless_messages == 0 for r in rows)
+
+
+def test_fault_counts_cover_faulting_pages(jacobi_4k):
+    rows = attribute_pages(jacobi_4k.trace)
+    assert sum(r.faults for r in rows) >= jacobi_4k.stats.faults
+
+
+def test_render_lists_top_pages(mgs_8k):
+    rows = attribute_pages(mgs_8k.trace)
+    text = render_attribution(rows, top=3)
+    assert "False-sharing attribution" in text
+    # Header + 3 rows.
+    assert len(text.splitlines()) == 2 + 3
+    assert rows[0].allocation[:16] in text
+
+
+def test_render_empty():
+    assert "no diff traffic" in render_attribution([])
