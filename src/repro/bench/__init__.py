@@ -11,12 +11,19 @@
 * :mod:`repro.bench.ablation` -- ablations of the design choices called
   out in DESIGN.md (dynamic group size, request combining, parallel
   fetch).
+* :mod:`repro.bench.cache` -- on-disk result cache keyed by (code
+  version, app, dataset, config); any source change invalidates it.
+* :mod:`repro.bench.pool` -- multiprocessing fan-out of independent
+  sweep cells (``--jobs``), bit-identical to serial execution.
+* :mod:`repro.bench.golden` -- the golden-baseline regression gate
+  (``--check`` / ``--refresh-golden`` against ``benchmarks/golden/``).
 
 Each module renders the paper-shaped table as text and returns the raw
 numbers; the ``benchmarks/`` pytest-benchmark suite drives them and
 writes the outputs next to EXPERIMENTS.md.
 """
 
+from repro.bench.cache import DiskCache
 from repro.bench.harness import (
     UNIT_LABELS,
     CaseResult,
@@ -24,11 +31,15 @@ from repro.bench.harness import (
     run_case,
     render_breakdown_table,
 )
+from repro.bench.pool import SweepCell, run_cells
 
 __all__ = [
     "UNIT_LABELS",
     "CaseResult",
+    "DiskCache",
     "ResultCache",
+    "SweepCell",
     "run_case",
+    "run_cells",
     "render_breakdown_table",
 ]

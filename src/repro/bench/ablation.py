@@ -31,6 +31,22 @@ class AblationRow:
     total_messages: int
 
 
+def cells() -> list:
+    """The sweep cells the default ablation set consumes (for parallel
+    prewarming); mirrors ``repro.bench.cli._run_ablation``."""
+    from repro.bench.pool import SweepCell
+
+    out = []
+    for app, ds in (("ILINK", "CLP"), ("MGS", "1Kx1K")):
+        for maxg in (1, 2, 4, 8, 16):
+            out.append(SweepCell.make(app, ds, "Dyn", max_group_pages=maxg))
+    for combine in (True, False):
+        out.append(SweepCell.make("ILINK", "CLP", "Dyn", combine_requests=combine))
+    for parallel in (True, False):
+        out.append(SweepCell.make("ILINK", "CLP", "16K", parallel_fetch=parallel))
+    return out
+
+
 def sweep_group_size(app: str = "ILINK", dataset: str = "CLP") -> List[AblationRow]:
     rows = []
     for maxg in (1, 2, 4, 8, 16):

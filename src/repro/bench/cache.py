@@ -1,0 +1,159 @@
+"""On-disk result cache for sweep cells.
+
+A *cell* is one (application, dataset, SimConfig) simulation.  Cells are
+deterministic, so their distilled :class:`~repro.bench.harness.CaseResult`
+can be memoized on disk and reused across processes and invocations --
+this is what makes repeated figure/table regeneration and the golden
+regression gate cheap.
+
+Keying
+------
+A cell's cache key hashes four things:
+
+* the **code version** -- a digest over every ``repro`` source file, so
+  any change to the simulator, protocol, or applications invalidates the
+  entire cache (a stale hit can never mask a behavior change);
+* the **application name** and **dataset label**;
+* the **canonical config JSON** (:meth:`SimConfig.canonical_json`), so
+  two calls that resolve to the same configuration share one entry and
+  two configs differing in any field -- including ``**extra`` overrides
+  like ``max_group_pages`` -- can never alias.
+
+Entries are one JSON file per cell under ``repro_results/cache/`` with a
+human-readable ``<app>-<dataset>-<label>-<key>.json`` name.  Corrupt,
+truncated, or stale-schema files are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.config import SimConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness imports us)
+    from repro.bench.harness import CaseResult
+
+#: Bump when the cache entry layout changes; old entries become misses.
+CACHE_SCHEMA = 1
+
+#: Default cache root, relative to the working directory (the CLI and
+#: tests pass explicit paths; this matches the repo layout).
+DEFAULT_CACHE_DIR = pathlib.Path("repro_results") / "cache"
+
+_SRC_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+_code_version_cache: dict = {}
+
+
+def code_version(src_root: Optional[pathlib.Path] = None) -> str:
+    """Digest of every ``repro`` source file (path + contents).
+
+    Any edit anywhere in the package changes the digest, invalidating
+    all cached cells.  That is intentionally coarse: simulations are
+    cheap relative to the cost of trusting a stale number.
+    """
+    root = pathlib.Path(src_root) if src_root is not None else _SRC_ROOT
+    memoize = src_root is None  # sources don't change under a live process
+    if memoize and "default" in _code_version_cache:
+        return _code_version_cache["default"]
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    digest = h.hexdigest()[:16]
+    if memoize:
+        _code_version_cache["default"] = digest
+    return digest
+
+
+def cell_key(app: str, dataset: str, config: SimConfig) -> str:
+    """Stable cache key of one sweep cell under the current code."""
+    blob = "\n".join(
+        [str(CACHE_SCHEMA), code_version(), app, dataset, config.canonical_json()]
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def cell_seed(app: str, dataset: str, config: SimConfig) -> int:
+    """Deterministic per-cell RNG seed (32-bit).
+
+    Derived only from the cell identity -- *not* the code version -- so
+    seeds are stable across commits and identical whether the cell runs
+    serially in the parent process or fanned out to a pool worker.
+    """
+    blob = "\n".join(["seed", app, dataset, config.canonical_json()])
+    return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:4], "big")
+
+
+class DiskCache:
+    """One-file-per-cell JSON cache with hit/miss accounting."""
+
+    def __init__(self, root: pathlib.Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, app: str, dataset: str, label: str, key: str) -> pathlib.Path:
+        safe = f"{app}-{dataset}-{label}".replace("/", "_").replace(" ", "_")
+        return self.root / f"{safe}-{key}.json"
+
+    def load(
+        self, app: str, dataset: str, label: str, config: SimConfig
+    ) -> "Optional[CaseResult]":
+        """Return the cached :class:`CaseResult`, or None on a miss."""
+        from repro.bench.harness import CaseResult
+
+        key = cell_key(app, dataset, config)
+        path = self._path(app, dataset, label, key)
+        try:
+            entry = json.loads(path.read_text())
+            if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
+                raise ValueError("stale cache entry")
+            result = CaseResult.from_json_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(
+        self, app: str, dataset: str, label: str, config: SimConfig,
+        result: "CaseResult",
+    ) -> pathlib.Path:
+        """Write one cell's result; returns the file path."""
+        key = cell_key(app, dataset, config)
+        path = self._path(app, dataset, label, key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "code_version": code_version(),
+            "app": app,
+            "dataset": dataset,
+            "label": label,
+            "config": config.to_dict(),
+            "result": result.to_json_dict(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1) + "\n")
+        tmp.replace(path)  # atomic: concurrent readers never see a torn file
+        self.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json"))) if self.root.is_dir() else 0

@@ -1,12 +1,21 @@
 """Command-line runner for the experiment harness.
 
     python -m repro.bench table1
-    python -m repro.bench figure1 figure2 figure3
+    python -m repro.bench figure1 figure2 figure3 --jobs 4
     python -m repro.bench micro ablation
     python -m repro.bench all --out repro_results
+    python -m repro.bench --check
+    python -m repro.bench --refresh-golden
 
 Each command prints the paper-shaped table and (with ``--out``) writes
 it next to the CSV data, exactly like the pytest-benchmark suite.
+
+Sweep cells are cached on disk under ``repro_results/cache/`` (keyed by
+code version + configuration, so any source change invalidates them) and
+can be fanned out over worker processes with ``--jobs``; parallel runs
+are bit-identical to serial ones.  ``--check`` is the golden-baseline
+regression gate (exit 1 on any counter drift); ``--refresh-golden``
+regenerates the committed baselines after an intended behavior change.
 """
 
 from __future__ import annotations
@@ -14,14 +23,14 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
-from repro.bench import ablation, figures, micro
-from repro.bench.table1 import build_table1, render_table1
+from repro.bench import ablation, cache, figures, golden, micro, pool, table1
+from repro.bench.harness import ResultCache
 
 
 def _run_table1() -> str:
-    return render_table1(build_table1())
+    return table1.render_table1(table1.build_table1())
 
 
 def _run_figure(fig: Callable) -> Callable[[], str]:
@@ -54,6 +63,21 @@ COMMANDS: Dict[str, Callable[[], str]] = {
     "micro": _run_micro,
     "ablation": _run_ablation,
 }
+
+
+def _cells_for(names: List[str]) -> List[pool.SweepCell]:
+    """Every sweep cell the named experiments will consume, so a parallel
+    prewarm leaves only cache hits for the (serial) renderers."""
+    cells: List[pool.SweepCell] = []
+    for name in names:
+        if name == "table1":
+            cells.extend(table1.cells())
+        elif name in ("figure1", "figure2", "figure3"):
+            cells.extend(figures.cells(name))
+        elif name == "ablation":
+            cells.extend(ablation.cells())
+        # micro measures sync primitives directly; it has no sweep cells.
+    return cells
 
 
 def _dump_traces(outdir: pathlib.Path) -> None:
@@ -94,6 +118,53 @@ def main(argv=None) -> int:
         help="directory to write .txt outputs into (default: print only)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep cells over N worker processes (results are "
+        "bit-identical to a serial run; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=cache.DEFAULT_CACHE_DIR,
+        help="on-disk result cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="golden-baseline regression gate: re-run the fixed matrix "
+        "(all apps, smallest dataset, 4K/8K/16K/Dyn, plus the "
+        "microbenchmarks) and exact-match every counter against "
+        "benchmarks/golden/; exit 1 on any drift",
+    )
+    parser.add_argument(
+        "--refresh-golden",
+        action="store_true",
+        help="regenerate the committed golden baselines from the current "
+        "code (review the diff before committing)",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        type=pathlib.Path,
+        default=golden.GOLDEN_DIR,
+        help="golden baseline directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        metavar="APP[,APP]",
+        help="restrict --check / --refresh-golden to these applications "
+        "(skips the micro baselines)",
+    )
+    parser.add_argument(
         "--trace-out",
         type=pathlib.Path,
         default=None,
@@ -101,26 +172,55 @@ def main(argv=None) -> int:
         "applications (viewable in Perfetto) into this directory",
     )
     args = parser.parse_args(argv)
-    if not args.experiments and args.trace_out is None:
-        parser.error("nothing to do: give experiments and/or --trace-out")
+    doing_golden = args.check or args.refresh_golden
+    if not args.experiments and args.trace_out is None and not doing_golden:
+        parser.error(
+            "nothing to do: give experiments and/or --trace-out / --check "
+            "/ --refresh-golden"
+        )
     for name in args.experiments:
         if name != "all" and name not in COMMANDS:
             parser.error(
                 f"unknown experiment {name!r} "
                 f"(choose from {', '.join(sorted(COMMANDS) + ['all'])})"
             )
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    names = sorted(COMMANDS) if "all" in args.experiments else args.experiments
-    for name in names:
-        text = COMMANDS[name]()
-        print(text)
-        print()
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(text + "\n")
-    if args.trace_out is not None:
-        _dump_traces(args.trace_out)
-    return 0
+    apps = args.only.split(",") if args.only else None
+    previous_disk = ResultCache.disk()
+    ResultCache.configure(
+        None if args.no_cache else cache.DiskCache(args.cache_dir)
+    )
+    try:
+        names = sorted(COMMANDS) if "all" in args.experiments else args.experiments
+        if names:
+            report = pool.run_cells(_cells_for(names), jobs=args.jobs)
+            print(f"# sweep: {report.summary()}", file=sys.stderr)
+        for name in names:
+            text = COMMANDS[name]()
+            print(text)
+            print()
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(text + "\n")
+        if args.trace_out is not None:
+            _dump_traces(args.trace_out)
+
+        if args.refresh_golden:
+            written = golden.write_golden(
+                args.golden_dir, apps=apps, jobs=args.jobs
+            )
+            for path in written:
+                print(f"wrote {path}")
+        if args.check:
+            report = golden.check(args.golden_dir, apps=apps, jobs=args.jobs)
+            print(report.render())
+            if not report.ok:
+                return 1
+        return 0
+    finally:
+        ResultCache.configure(previous_disk)
 
 
 if __name__ == "__main__":

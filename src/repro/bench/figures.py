@@ -67,6 +67,22 @@ def _sweep(cases) -> Matrix:
     return out
 
 
+def cells(which: str) -> list:
+    """The sweep cells one figure consumes (for parallel prewarming)."""
+    from repro.bench.pool import SweepCell
+
+    cases = {
+        "figure1": FIGURE1_CASES,
+        "figure2": FIGURE2_CASES,
+        "figure3": FIGURE3_CASES,
+    }[which]
+    return [
+        SweepCell.make(app, ds, label)
+        for app, ds in cases
+        for label in UNIT_LABELS
+    ]
+
+
 def figure1() -> Tuple[Matrix, str]:
     matrix = _sweep(FIGURE1_CASES)
     text = "\n\n".join(

@@ -1,0 +1,251 @@
+"""Golden-baseline regression gate.
+
+``python -m repro.bench --check`` re-runs a fixed matrix -- every
+application on its smallest paper dataset at each consistency unit
+(4K/8K/16K/Dyn), plus the Section-5.1 microbenchmarks -- and compares
+the communication counters against baselines committed under
+``benchmarks/golden/``.  The simulator is deterministic, so comparison
+is **exact**: any drift in messages, bytes, useless data, faults,
+simulated time, or checksums means a behavior change that either is a
+bug or must be acknowledged by regenerating the baselines
+(``--refresh-golden``) and reviewing the diff in the commit.
+
+File layout: one ``<app>.json`` per application holding
+``{dataset: {label: {counter: value}}}``, plus ``micro.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench import micro
+from repro.bench.harness import CaseResult, ResultCache
+from repro.bench.pool import SweepCell, run_cells
+
+#: Counters compared exactly against the baselines, in report order.
+GOLDEN_FIELDS = (
+    "time_us",
+    "useful_messages",
+    "useless_messages",
+    "sync_messages",
+    "useful_bytes",
+    "useless_bytes",
+    "piggybacked_useless_bytes",
+    "sync_bytes",
+    "faults",
+    "monitoring_faults",
+    "checksum",
+)
+
+#: Every application's smallest paper dataset (the gate's fixed matrix).
+SMALL_DATASETS = {
+    "3D-FFT": "64x64x32",
+    "Barnes": "16K",
+    "ILINK": "CLP",
+    "Jacobi": "1Kx1K",
+    "MGS": "1Kx1K",
+    "Shallow": "1Kx0.5K",
+    "TSP": "19-city",
+    "Water": "512",
+}
+
+GOLDEN_LABELS = ("4K", "8K", "16K", "Dyn")
+
+#: Default baseline directory (checked into the repository).
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "golden"
+
+
+def golden_cells(apps: Optional[Sequence[str]] = None) -> List[SweepCell]:
+    """The gate's sweep cells, optionally restricted to some apps."""
+    names = sorted(SMALL_DATASETS) if apps is None else list(apps)
+    for name in names:
+        if name not in SMALL_DATASETS:
+            raise KeyError(
+                f"unknown application {name!r}; have {sorted(SMALL_DATASETS)}"
+            )
+    return [
+        SweepCell.make(app, SMALL_DATASETS[app], label)
+        for app in names
+        for label in GOLDEN_LABELS
+    ]
+
+
+def case_snapshot(case: CaseResult) -> Dict[str, object]:
+    """The exact-matched counter subset of one cell's result."""
+    return {f: getattr(case, f) for f in GOLDEN_FIELDS}
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One counter that diverged from its baseline."""
+
+    where: str   # "App/dataset@label" or "micro"
+    field: str
+    expected: object
+    actual: object
+
+    def render(self) -> str:
+        delta = ""
+        if isinstance(self.expected, (int, float)) and isinstance(
+            self.actual, (int, float)
+        ):
+            d = self.actual - self.expected
+            delta = f"  ({'+' if d >= 0 else ''}{d:g}, {_pct(d, self.expected)})"
+        return (
+            f"  {self.where}: {self.field}: expected {self.expected!r}, "
+            f"got {self.actual!r}{delta}"
+        )
+
+
+def _pct(delta, base) -> str:
+    if not base:
+        return "n/a"
+    return f"{100.0 * delta / base:+.2f}%"
+
+
+def compare_case(where: str, case: CaseResult, golden: dict) -> List[Mismatch]:
+    """Exact comparison of one cell against its baseline entry."""
+    out = []
+    for f in GOLDEN_FIELDS:
+        expected = golden.get(f)
+        actual = getattr(case, f)
+        if expected != actual:
+            out.append(Mismatch(where, f, expected, actual))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def _app_path(golden_dir: pathlib.Path, app: str) -> pathlib.Path:
+    return golden_dir / f"{app.replace('/', '_')}.json"
+
+
+def load_app_golden(golden_dir: pathlib.Path, app: str) -> Optional[dict]:
+    path = _app_path(golden_dir, app)
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_golden(
+    golden_dir: pathlib.Path,
+    apps: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    with_micro: bool = True,
+    progress=None,
+) -> List[pathlib.Path]:
+    """(Re)generate baseline files from the current code; returns the
+    paths written."""
+    cells = golden_cells(apps)
+    run_cells(cells, jobs=jobs, progress=progress)
+    golden_dir = pathlib.Path(golden_dir)
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    names = sorted(SMALL_DATASETS) if apps is None else list(apps)
+    for app in names:
+        ds = SMALL_DATASETS[app]
+        entry = {
+            ds: {
+                label: case_snapshot(ResultCache.get(app, ds, label))
+                for label in GOLDEN_LABELS
+            }
+        }
+        path = _app_path(golden_dir, app)
+        path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
+        written.append(path)
+    if with_micro and apps is None:
+        path = golden_dir / "micro.json"
+        path.write_text(
+            json.dumps(micro.snapshot(micro.run_all()), indent=1, sort_keys=True)
+            + "\n"
+        )
+        written.append(path)
+    return written
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+@dataclass
+class CheckReport:
+    """Outcome of one ``--check`` invocation."""
+
+    cells_checked: int = 0
+    mismatches: List[Mismatch] = None
+    missing: List[str] = None
+
+    def __post_init__(self):
+        self.mismatches = self.mismatches or []
+        self.missing = self.missing or []
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.missing
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"golden check OK: {self.cells_checked} cells match the "
+                f"baselines exactly"
+            )
+        lines = [
+            f"golden check FAILED: {len(self.mismatches)} counter mismatch(es), "
+            f"{len(self.missing)} missing baseline(s) "
+            f"over {self.cells_checked} cells"
+        ]
+        for m in self.missing:
+            lines.append(f"  {m}: no committed baseline "
+                         f"(run --refresh-golden and commit the result)")
+        lines.extend(m.render() for m in self.mismatches)
+        if self.mismatches:
+            lines.append(
+                "  (exact-match semantics: if the change is intended, "
+                "regenerate with --refresh-golden and review the diff)"
+            )
+        return "\n".join(lines)
+
+
+def check(
+    golden_dir: pathlib.Path = GOLDEN_DIR,
+    apps: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    with_micro: bool = True,
+    progress=None,
+) -> CheckReport:
+    """Run the gate matrix and compare every cell against the baselines."""
+    report = CheckReport()
+    golden_dir = pathlib.Path(golden_dir)
+    cells = golden_cells(apps)
+    run_cells(cells, jobs=jobs, progress=progress)
+    names = sorted(SMALL_DATASETS) if apps is None else list(apps)
+    for app in names:
+        ds = SMALL_DATASETS[app]
+        golden = load_app_golden(golden_dir, app)
+        for label in GOLDEN_LABELS:
+            where = f"{app}/{ds}@{label}"
+            case = ResultCache.get(app, ds, label)
+            report.cells_checked += 1
+            entry = (golden or {}).get(ds, {}).get(label)
+            if entry is None:
+                report.missing.append(where)
+                continue
+            report.mismatches.extend(compare_case(where, case, entry))
+    if with_micro and apps is None:
+        path = golden_dir / "micro.json"
+        measured = micro.snapshot(micro.run_all())
+        report.cells_checked += len(measured)
+        if not path.is_file():
+            report.missing.append("micro")
+        else:
+            golden_micro = json.loads(path.read_text())
+            for name, value in measured.items():
+                expected = golden_micro.get(name)
+                if expected != value:
+                    report.mismatches.append(
+                        Mismatch("micro", name, expected, value)
+                    )
+    return report

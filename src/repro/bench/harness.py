@@ -2,32 +2,46 @@
 
 Every paper experiment is a matrix of (application, dataset) x
 (consistency configuration).  ``run_case`` executes one cell and distills
-a :class:`CaseResult`; :class:`ResultCache` memoizes cells so the
-benchmark suite never runs the same simulation twice; the render helpers
-produce the paper-shaped ASCII tables.
+a :class:`CaseResult`; :class:`ResultCache` memoizes cells -- in memory
+always, and through the on-disk :class:`repro.bench.cache.DiskCache` when
+one is attached -- so the benchmark suite never runs the same simulation
+twice; the render helpers produce the paper-shaped ASCII tables.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.apps.base import get_app, run_app
+from repro.bench.cache import DiskCache, cell_key, cell_seed
 from repro.sim.config import SimConfig
 from repro.stats.report import RunResult
+from repro.stats.signature import normalized_from_json, normalized_to_json
 
 #: Consistency configurations in paper order.
 UNIT_LABELS = ("4K", "8K", "16K", "Dyn")
 
 
 def config_for(label: str, nprocs: int = 8, **extra) -> SimConfig:
-    """The SimConfig for one of the paper's unit labels (or 'seq')."""
+    """The SimConfig for one of the paper's unit labels (or 'seq').
+
+    ``extra`` overrides win over the label's own defaults, so a spelling
+    like ``config_for("4K", unit_pages=1)`` is legal (and resolves to the
+    same config -- and hence the same cache cell -- as ``config_for("4K")``).
+    """
     if label == "seq":
-        return SimConfig(nprocs=1, **extra)
-    if label == "Dyn":
-        return SimConfig(nprocs=nprocs, dynamic=True, **extra)
-    pages = {"4K": 1, "8K": 2, "16K": 4}[label]
-    return SimConfig(nprocs=nprocs, unit_pages=pages, **extra)
+        kwargs = dict(nprocs=1)
+    elif label == "Dyn":
+        kwargs = dict(nprocs=nprocs, dynamic=True)
+    else:
+        pages = {"4K": 1, "8K": 2, "16K": 4}[label]
+        kwargs = dict(nprocs=nprocs, unit_pages=pages)
+    kwargs.update(extra)
+    return SimConfig(**kwargs)
 
 
 @dataclass
@@ -79,26 +93,106 @@ class CaseResult:
             monitoring_faults=res.stats.monitoring_faults,
         )
 
+    # ------------------------------------------------------------------
+    # Lossless JSON round-trip (disk cache, pool workers, baselines).
+    # Floats survive exactly: json uses repr, the shortest round-tripping
+    # decimal form.
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        data = asdict(self)
+        data["signature"] = normalized_to_json(self.signature)
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CaseResult":
+        data = dict(data)
+        data["signature"] = normalized_from_json(data["signature"])
+        return cls(**data)
+
 
 def run_case(app_name: str, dataset: str, label: str, **extra) -> CaseResult:
-    """Run one (application, dataset, configuration) cell."""
+    """Run one (application, dataset, configuration) cell.
+
+    Before the run, the process-global RNGs are seeded from a hash of the
+    cell identity (:func:`repro.bench.cache.cell_seed`).  The applications
+    construct their own fixed-seed generators, so this is belt and braces:
+    it guarantees that even stray global-RNG usage yields bit-identical
+    results whether the cell runs serially or in a pool worker, in any
+    order relative to other cells.
+    """
     app = get_app(app_name)
-    res = run_app(app, dataset, config_for(label, **extra))
+    config = config_for(label, **extra)
+    seed = cell_seed(app_name, dataset, config)
+    np.random.seed(seed)
+    random.seed(seed)
+    res = run_app(app, dataset, config)
     return CaseResult.from_run(res)
 
 
 class ResultCache:
     """Process-wide memo of matrix cells (simulations are deterministic,
-    so caching is sound)."""
+    so caching is sound), optionally backed by an on-disk cache.
 
-    _cells: Dict[Tuple[str, str, str, tuple], CaseResult] = {}
+    Keys are the resolved-config cell keys of :mod:`repro.bench.cache`:
+    ``get()`` resolves ``(label, **extra)`` to a full :class:`SimConfig`
+    first, so two calls that differ in any ``**extra`` override can never
+    alias one entry, and two spellings of the same configuration (e.g.
+    ``get(.., "4K")`` and ``get(.., "4K", unit_pages=1)``) share one.
+    """
+
+    _cells: Dict[str, CaseResult] = {}
+    _disk: Optional[DiskCache] = None
+
+    @classmethod
+    def configure(cls, disk: Optional[DiskCache]) -> None:
+        """Attach (or detach, with None) the on-disk cache layer."""
+        cls._disk = disk
+
+    @classmethod
+    def disk(cls) -> Optional[DiskCache]:
+        return cls._disk
 
     @classmethod
     def get(cls, app_name: str, dataset: str, label: str, **extra) -> CaseResult:
-        key = (app_name, dataset, label, tuple(sorted(extra.items())))
-        if key not in cls._cells:
-            cls._cells[key] = run_case(app_name, dataset, label, **extra)
-        return cls._cells[key]
+        config = config_for(label, **extra)
+        key = cell_key(app_name, dataset, config)
+        if key in cls._cells:
+            return cls._cells[key]
+        result = None
+        if cls._disk is not None:
+            result = cls._disk.load(app_name, dataset, label, config)
+        if result is None:
+            result = run_case(app_name, dataset, label, **extra)
+            if cls._disk is not None:
+                cls._disk.store(app_name, dataset, label, config, result)
+        cls._cells[key] = result
+        return result
+
+    @classmethod
+    def put(cls, app_name: str, dataset: str, label: str,
+            result: CaseResult, **extra) -> None:
+        """Install an externally-computed cell (pool workers feed results
+        back through this), writing through to the disk layer."""
+        config = config_for(label, **extra)
+        key = cell_key(app_name, dataset, config)
+        cls._cells[key] = result
+        if cls._disk is not None:
+            cls._disk.store(app_name, dataset, label, config, result)
+
+    @classmethod
+    def cached(cls, app_name: str, dataset: str, label: str, **extra) -> bool:
+        """True when the cell is already in memory or on disk (a disk
+        probe loads the entry into memory as a side effect)."""
+        config = config_for(label, **extra)
+        key = cell_key(app_name, dataset, config)
+        if key in cls._cells:
+            return True
+        if cls._disk is not None:
+            result = cls._disk.load(app_name, dataset, label, config)
+            if result is not None:
+                cls._cells[key] = result
+                return True
+        return False
 
     @classmethod
     def clear(cls) -> None:

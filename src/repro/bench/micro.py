@@ -40,6 +40,13 @@ class MicroResult:
         )
 
 
+def snapshot(results) -> Dict[str, float]:
+    """``name -> measured_us`` of a microbenchmark run.  The simulator is
+    deterministic, so the golden regression gate exact-matches these
+    alongside the application counters (see :mod:`repro.bench.golden`)."""
+    return {r.name: r.measured_us for r in results}
+
+
 def measure_barrier(nprocs: int = 8) -> float:
     """Average stall of an 8-processor barrier with aligned arrivals."""
     tmk = TreadMarks(SimConfig(nprocs=nprocs), heap_bytes=4096)

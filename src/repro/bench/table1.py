@@ -40,6 +40,18 @@ class Table1Row:
     paper_speedup: float | None
 
 
+def cells() -> list:
+    """The sweep cells Table 1 consumes (for parallel prewarming)."""
+    from repro.bench.pool import SweepCell
+
+    out = []
+    for name in AppRegistry.names():
+        for ds in sorted(AppRegistry.get(name).datasets):
+            out.append(SweepCell.make(name, ds, "seq"))
+            out.append(SweepCell.make(name, ds, "4K"))
+    return out
+
+
 def build_table1() -> List[Table1Row]:
     """Run every (application, dataset) sequentially and on 8 processors
     at the 4 KB unit."""

@@ -20,6 +20,8 @@ simulated platform.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 
 
@@ -237,6 +239,41 @@ class SimConfig:
         cfg = dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
         cfg.validate()
         return cfg
+
+    # ------------------------------------------------------------------
+    # Stable serialization (the result cache and golden baselines key on
+    # this; see repro.bench.cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All fields as a JSON-safe dict (ints, floats, bools only)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Rebuild a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise so a cache entry written by a future config
+        schema is rejected rather than silently reinterpreted."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimConfig fields: {sorted(unknown)}")
+        cfg = cls(**data)
+        cfg.validate()
+        return cfg
+
+    def canonical_json(self) -> str:
+        """Canonical JSON form: every field, keys sorted, no whitespace.
+
+        Two configs are behaviorally identical iff their canonical JSON
+        is byte-identical (floats serialize via repr, which round-trips
+        exactly), so this string is a sound cache-key component.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def config_hash(self) -> str:
+        """Short stable digest of :meth:`canonical_json`."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
 
 
 #: The configuration matching the paper's platform with the baseline 4 KB

@@ -71,6 +71,19 @@ class FalseSharingSignature:
         return sum(w * b.exchanges for w, b in self.buckets.items()) / total
 
 
+def normalized_to_json(sig: Dict[int, tuple]) -> Dict[str, List[float]]:
+    """JSON-safe form of :meth:`FalseSharingSignature.normalized` output
+    (JSON object keys must be strings; tuples become 2-lists).  Used by
+    the on-disk result cache and the golden baselines."""
+    return {str(w): [float(u), float(ul)] for w, (u, ul) in sorted(sig.items())}
+
+
+def normalized_from_json(data: Dict[str, List[float]]) -> Dict[int, tuple]:
+    """Inverse of :func:`normalized_to_json` (exact: floats round-trip
+    through JSON losslessly)."""
+    return {int(w): (pair[0], pair[1]) for w, pair in data.items()}
+
+
 def build_signature(stats: ProtocolStats, network: Network) -> FalseSharingSignature:
     """Build the signature from fault records once word usefulness has
     resolved (i.e. after the run completed)."""

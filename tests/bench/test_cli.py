@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench.cli import COMMANDS, main
+from repro.bench.cli import COMMANDS, _cells_for, main
+from repro.bench.harness import ResultCache
 
 
 def test_commands_cover_all_experiments():
@@ -12,7 +13,7 @@ def test_commands_cover_all_experiments():
 
 
 def test_micro_via_cli(capsys, tmp_path):
-    rc = main(["micro", "--out", str(tmp_path)])
+    rc = main(["micro", "--out", str(tmp_path), "--no-cache"])
     assert rc == 0
     out = capsys.readouterr().out
     assert "microbenchmarks" in out
@@ -22,3 +23,60 @@ def test_micro_via_cli(capsys, tmp_path):
 def test_bad_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["not-an-experiment"])
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(SystemExit):
+        main(["micro", "--jobs", "0"])
+
+
+def test_nothing_to_do_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cells_for_covers_every_sweep_experiment():
+    for name in ("table1", "figure1", "figure2", "figure3", "ablation"):
+        assert _cells_for([name]), name
+    assert _cells_for(["micro"]) == []  # micro has no sweep cells
+
+
+def test_main_restores_cache_configuration(tmp_path):
+    before = ResultCache.disk()
+    main(["micro", "--cache-dir", str(tmp_path / "cache")])
+    assert ResultCache.disk() is before
+
+
+class TestGoldenFlow:
+    """--refresh-golden / --check wired through the CLI (one cheap app)."""
+
+    def test_refresh_then_check_roundtrip(self, tmp_path, capsys):
+        gdir = tmp_path / "golden"
+        args = ["--only", "Jacobi", "--golden-dir", str(gdir),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(["--refresh-golden"] + args) == 0
+        assert (gdir / "Jacobi.json").exists()
+        assert main(["--check"] + args) == 0
+        assert "golden check OK" in capsys.readouterr().out
+
+    def test_check_fails_on_drift(self, tmp_path, capsys):
+        import json
+
+        gdir = tmp_path / "golden"
+        args = ["--only", "Jacobi", "--golden-dir", str(gdir),
+                "--cache-dir", str(tmp_path / "cache")]
+        main(["--refresh-golden"] + args)
+        path = gdir / "Jacobi.json"
+        entry = json.loads(path.read_text())
+        entry["1Kx1K"]["Dyn"]["sync_messages"] += 1
+        path.write_text(json.dumps(entry))
+        assert main(["--check"] + args) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "sync_messages" in out
+
+    def test_check_missing_baselines_fails(self, tmp_path, capsys):
+        rc = main(["--check", "--only", "Jacobi",
+                   "--golden-dir", str(tmp_path / "nowhere"),
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 1
+        assert "missing baseline" in capsys.readouterr().out

@@ -55,10 +55,40 @@ class TestCache:
         assert a is b
 
     def test_extra_kwargs_key_cache_separately(self):
+        """Regression: cells differing only in ``**extra`` overrides must
+        never alias one cache entry -- keys hash the fully resolved
+        SimConfig, so every config field participates."""
         ResultCache.clear()
         a = ResultCache.get("Jacobi", "1Kx1K", "Dyn", max_group_pages=2)
         b = ResultCache.get("Jacobi", "1Kx1K", "Dyn", max_group_pages=8)
         assert a is not b
+        # And the non-default cell really behaved differently from the
+        # default-keyed one (an alias would have returned equal counters).
+        assert ResultCache.get("Jacobi", "1Kx1K", "Dyn") is not a
+
+    def test_boolean_extras_key_cache_separately(self):
+        from repro.bench.cache import cell_key
+
+        ResultCache.clear()
+        on = ResultCache.get("Jacobi", "1Kx1K", "16K", parallel_fetch=True)
+        off = ResultCache.get("Jacobi", "1Kx1K", "16K", parallel_fetch=False)
+        assert on is not off
+        assert cell_key(
+            "Jacobi", "1Kx1K", config_for("16K", parallel_fetch=True)
+        ) != cell_key(
+            "Jacobi", "1Kx1K", config_for("16K", parallel_fetch=False)
+        )
+
+    def test_equivalent_spellings_share_one_entry(self):
+        """The dual property: two spellings resolving to the same config
+        must hit one entry (no duplicate simulation work)."""
+        ResultCache.clear()
+        a = ResultCache.get("Jacobi", "1Kx1K", "4K")
+        b = ResultCache.get("Jacobi", "1Kx1K", "4K", unit_pages=1)
+        c = ResultCache.get("Jacobi", "1Kx1K", "16K", parallel_fetch=True)
+        d = ResultCache.get("Jacobi", "1Kx1K", "16K")
+        assert a is b
+        assert c is d
 
 
 class TestRendering:

@@ -1,0 +1,86 @@
+"""Parallel sweep engine: dedup, cache economics, serial == parallel."""
+
+import pytest
+
+from repro.bench.cache import DiskCache
+from repro.bench.harness import ResultCache
+from repro.bench.pool import SweepCell, dedupe_cells, run_cells
+
+
+@pytest.fixture
+def isolated_cache(tmp_path):
+    """Fresh in-memory + on-disk cache, restored afterwards."""
+    old = ResultCache.disk()
+    ResultCache.clear()
+    disk = DiskCache(tmp_path / "cache")
+    ResultCache.configure(disk)
+    yield disk
+    ResultCache.configure(old)
+    ResultCache.clear()
+
+
+CELLS = [SweepCell.make("Jacobi", "1Kx1K", label) for label in ("4K", "8K")]
+
+
+class TestSweepCell:
+    def test_kwargs_roundtrip(self):
+        c = SweepCell.make("ILINK", "CLP", "Dyn", max_group_pages=2)
+        assert c.kwargs == {"max_group_pages": 2}
+        assert "max_group_pages=2" in str(c)
+
+    def test_dedupe_collapses_equivalent_spellings(self):
+        cells = [
+            SweepCell.make("Jacobi", "1Kx1K", "4K"),
+            SweepCell.make("Jacobi", "1Kx1K", "4K", unit_pages=1),  # same config
+            SweepCell.make("Jacobi", "1Kx1K", "8K"),
+        ]
+        assert len(dedupe_cells(cells)) == 2
+
+    def test_dedupe_keeps_distinct_extras(self):
+        cells = [
+            SweepCell.make("ILINK", "CLP", "Dyn", max_group_pages=2),
+            SweepCell.make("ILINK", "CLP", "Dyn", max_group_pages=8),
+        ]
+        assert len(dedupe_cells(cells)) == 2
+
+
+class TestRunCells:
+    def test_serial_fills_both_cache_layers(self, isolated_cache):
+        report = run_cells(CELLS, jobs=1)
+        assert report.ran == 2 and report.cached == 0
+        assert isolated_cache.stores == 2
+        again = run_cells(CELLS, jobs=1)
+        assert again.ran == 0 and again.cached == 2
+
+    def test_parallel_identical_to_serial(self, isolated_cache, tmp_path):
+        """The acceptance property: a --jobs N sweep produces
+        counter-for-counter identical results to the serial run."""
+        run_cells(CELLS, jobs=2)
+        parallel = {
+            c.label: ResultCache.get(c.app, c.dataset, c.label) for c in CELLS
+        }
+        ResultCache.configure(DiskCache(tmp_path / "other"))
+        ResultCache.clear()
+        run_cells(CELLS, jobs=1)
+        serial = {
+            c.label: ResultCache.get(c.app, c.dataset, c.label) for c in CELLS
+        }
+        assert parallel == serial  # dataclass equality: every field exact
+
+    def test_parallel_results_land_on_disk(self, isolated_cache):
+        run_cells(CELLS, jobs=2)
+        assert isolated_cache.stores == 2
+        ResultCache.clear()  # next invocation: disk hits only
+        report = run_cells(CELLS, jobs=2)
+        assert report.ran == 0 and report.cached == 2
+        assert isolated_cache.hits == 2
+
+    def test_progress_callback_sees_runs(self, isolated_cache):
+        lines = []
+        run_cells(CELLS, jobs=1, progress=lines.append)
+        assert any("Jacobi/1Kx1K@4K" in line for line in lines)
+
+    def test_report_summary_mentions_economics(self, isolated_cache):
+        report = run_cells(CELLS, jobs=1)
+        assert "2 unique" in report.summary()
+        assert "2 run" in report.summary()

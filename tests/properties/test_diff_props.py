@@ -76,3 +76,110 @@ def test_wire_bytes_bounded(base):
     # header per word + framing.
     assert d.wire_bytes >= d.nwords * 4
     assert d.wire_bytes <= d.nwords * 12 + 16
+
+
+# ----------------------------------------------------------------------
+# Exact recovery: the diff carries precisely the modified words.
+# ----------------------------------------------------------------------
+@given(words, st.data())
+@settings(max_examples=60, deadline=None)
+def test_diff_carries_exactly_the_modified_words(base, data):
+    cur = base.copy()
+    n = data.draw(st.integers(0, base.size))
+    picked = data.draw(
+        st.lists(st.integers(0, base.size - 1), min_size=n, max_size=n,
+                 unique=True)
+    )
+    for i in picked:
+        cur[i] = ~cur[i]  # bit-flip guarantees inequality
+    d = create_diff(0, base, cur)
+    modified = sorted(picked)
+    assert d.idx.tolist() == modified
+    assert d.values.tolist() == [int(cur[i]) for i in modified]
+    # ...and nothing else: applying to a scribbled target fixes exactly
+    # the modified words, leaving every other word untouched.
+    scratch = data.draw(
+        hnp.arrays(np.uint32, base.size, elements=st.integers(0, 2**32 - 1))
+    )
+    target = scratch.copy()
+    apply_diff(d, target)
+    picked_idx = np.array(modified, dtype=int)
+    untouched = np.setdiff1d(np.arange(base.size), picked_idx)
+    assert np.array_equal(target[untouched], scratch[untouched])
+    assert np.array_equal(target[picked_idx], cur[picked_idx])
+
+
+# ----------------------------------------------------------------------
+# Wire size vs an independent reference run-length encoder.
+# ----------------------------------------------------------------------
+def reference_rle_bytes(offsets) -> int:
+    """Naive reference encoder: walk the sorted offsets, open a new
+    (offset, length) run whenever the gap exceeds one word, charge
+    RUN_HEADER_BYTES per run, WORD per data word, DIFF_HEADER_BYTES
+    framing.  Mirrors the TreadMarks diff wire format."""
+    from repro.dsm.diff import DIFF_HEADER_BYTES, RUN_HEADER_BYTES, WORD
+
+    offsets = list(offsets)
+    if not offsets:
+        return DIFF_HEADER_BYTES
+    runs = 1
+    for prev, nxt in zip(offsets, offsets[1:]):
+        if nxt != prev + 1:
+            runs += 1
+    return DIFF_HEADER_BYTES + runs * RUN_HEADER_BYTES + len(offsets) * WORD
+
+
+@given(st.lists(st.integers(0, 511), unique=True))
+@settings(max_examples=100, deadline=None)
+def test_wire_bytes_matches_reference_encoder(offsets):
+    from repro.dsm.diff import _wire_bytes
+
+    idx = np.array(sorted(offsets), dtype=np.int32)
+    assert _wire_bytes(idx) == reference_rle_bytes(sorted(offsets))
+
+
+@given(words, st.data())
+@settings(max_examples=60, deadline=None)
+def test_created_diff_wire_bytes_matches_reference(base, data):
+    cur = base.copy()
+    n = data.draw(st.integers(0, base.size))
+    picked = data.draw(
+        st.lists(st.integers(0, base.size - 1), min_size=n, max_size=n,
+                 unique=True)
+    )
+    for i in picked:
+        cur[i] = ~cur[i]
+    d = create_diff(0, base, cur)
+    assert d.wire_bytes == reference_rle_bytes(sorted(picked))
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty and full-unit diffs.
+# ----------------------------------------------------------------------
+@given(words)
+@settings(max_examples=30, deadline=None)
+def test_empty_diff_costs_only_framing(base):
+    from repro.dsm.diff import DIFF_HEADER_BYTES
+
+    d = create_diff(0, base, base.copy())
+    assert d.nwords == 0
+    assert d.data_bytes == 0
+    assert d.wire_bytes == DIFF_HEADER_BYTES
+    target = base.copy()
+    apply_diff(d, target)  # no-op, no error
+    assert np.array_equal(target, base)
+
+
+@given(words)
+@settings(max_examples=30, deadline=None)
+def test_full_unit_diff_is_one_run(base):
+    from repro.dsm.diff import DIFF_HEADER_BYTES, RUN_HEADER_BYTES, WORD
+
+    cur = ~base  # every word differs
+    d = create_diff(0, base, cur)
+    assert d.nwords == base.size
+    # One maximal run covering the unit: a single run header.
+    assert d.wire_bytes == DIFF_HEADER_BYTES + RUN_HEADER_BYTES + base.size * WORD
+    target = base.copy()
+    apply_diff(d, target)
+    assert np.array_equal(target, cur)

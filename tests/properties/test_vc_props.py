@@ -67,3 +67,24 @@ def test_tick_strictly_increases(entries, data):
     pid = data.draw(st.integers(0, len(entries) - 1))
     v.tick(pid)
     assert old < v
+
+
+@given(st.tuples(*[st.lists(st.integers(0, 9), min_size=3, max_size=3)] * 3))
+def test_join_associative(abc):
+    a, b, c = (VectorClock(x) for x in abc)
+    assert a.joined(b).joined(c) == a.joined(b.joined(c))
+
+
+@given(pair())
+def test_concurrency_is_symmetric_and_irreflexive(ab):
+    a, b = (VectorClock(x) for x in ab)
+    assert a.concurrent_with(b) == b.concurrent_with(a)
+    assert not a.concurrent_with(a)
+
+
+@given(pair())
+def test_join_dominates_iff_comparable(ab):
+    """The merge adds no information when one side already dominates:
+    a <= b  iff  join(a, b) == b."""
+    a, b = (VectorClock(x) for x in ab)
+    assert (a <= b) == (a.joined(b) == b)

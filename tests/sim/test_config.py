@@ -92,3 +92,56 @@ class TestValidation:
     def test_frozen(self):
         with pytest.raises(Exception):
             PAPER_PLATFORM.nprocs = 4  # type: ignore[misc]
+
+
+class TestSerialization:
+    """Stable serialization/hashing backing the result cache and golden
+    baselines (repro.bench.cache keys on canonical_json)."""
+
+    def test_to_from_dict_roundtrip(self):
+        cfg = SimConfig(nprocs=4, unit_pages=2, parallel_fetch=False)
+        assert SimConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = PAPER_PLATFORM.to_dict()
+        data["frobnication_level"] = 9
+        with pytest.raises(ValueError):
+            SimConfig.from_dict(data)
+
+    def test_from_dict_validates(self):
+        data = PAPER_PLATFORM.to_dict()
+        data["nprocs"] = 0
+        with pytest.raises(ValueError):
+            SimConfig.from_dict(data)
+
+    def test_canonical_json_is_deterministic_and_complete(self):
+        import dataclasses
+        import json
+
+        a, b = SimConfig(), SimConfig()
+        assert a.canonical_json() == b.canonical_json()
+        # Every field participates, so no two distinct configs can alias.
+        parsed = json.loads(a.canonical_json())
+        assert set(parsed) == {f.name for f in dataclasses.fields(SimConfig)}
+
+    def test_config_hash_distinguishes_every_field_change(self):
+        base = SimConfig()
+        assert base.config_hash() == SimConfig().config_hash()
+        for change in (
+            dict(nprocs=4),
+            dict(unit_pages=2),
+            dict(dynamic=True),
+            dict(max_group_pages=4),
+            dict(msg_latency_us=150.0),
+            dict(parallel_fetch=False),
+            dict(combine_requests=False),
+        ):
+            assert base.replace(**change).config_hash() != base.config_hash()
+
+    def test_float_fields_roundtrip_exactly(self):
+        cfg = SimConfig(byte_time_us=0.1 + 0.2)  # not exactly representable
+        import json
+
+        back = SimConfig.from_dict(json.loads(cfg.canonical_json()))
+        assert back.byte_time_us == cfg.byte_time_us
+        assert back.config_hash() == cfg.config_hash()

@@ -100,3 +100,24 @@ def test_signature_shift_under_false_sharing():
 
     _, res = run_pattern(body)
     assert res.signature.max_writers == 3
+
+
+class TestNormalizedJson:
+    """JSON round-trip helpers used by the result cache and baselines."""
+
+    def test_roundtrip_exact(self):
+        from repro.stats.signature import normalized_from_json, normalized_to_json
+
+        sig = {1: (0.5, 0.25), 3: (0.125, 0.0625)}
+        encoded = normalized_to_json(sig)
+        assert all(isinstance(k, str) for k in encoded)
+        assert normalized_from_json(encoded) == sig
+
+    def test_survives_json_serialization(self):
+        import json
+
+        from repro.stats.signature import normalized_from_json, normalized_to_json
+
+        sig = {2: (1 / 3, 2 / 7)}
+        wire = json.dumps(normalized_to_json(sig))
+        assert normalized_from_json(json.loads(wire)) == sig
