@@ -26,6 +26,9 @@ from repro.bench.harness import CaseResult, ResultCache
 from repro.bench.pool import SweepCell, run_cells
 
 #: Counters compared exactly against the baselines, in report order.
+#: The fault-lab counters are all zero on the gate's reliable network;
+#: keeping them in the baselines means any leak of fault machinery into
+#: fault-free runs trips the exact-match gate.
 GOLDEN_FIELDS = (
     "time_us",
     "useful_messages",
@@ -38,6 +41,11 @@ GOLDEN_FIELDS = (
     "faults",
     "monitoring_faults",
     "checksum",
+    "fault_messages",
+    "fault_bytes",
+    "retransmissions",
+    "duplicate_deliveries",
+    "timeout_stalls",
 )
 
 #: Every application's smallest paper dataset (the gate's fixed matrix).

@@ -11,8 +11,8 @@ twice; the render helpers produce the paper-shaped ASCII tables.
 from __future__ import annotations
 
 import random
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -64,13 +64,32 @@ class CaseResult:
     faults: int
     monitoring_faults: int
 
+    # Fault-lab measurements (repro.faults); all zero under the default
+    # reliable network, and the only counters besides time_us allowed to
+    # differ from the fault-free baseline under an injected fault plan.
+    fault_messages: int = 0
+    fault_bytes: int = 0
+    retransmissions: int = 0
+    duplicate_deliveries: int = 0
+    timeout_stalls: int = 0
+
     @property
     def total_messages(self) -> int:
-        return self.useful_messages + self.useless_messages + self.sync_messages
+        return (
+            self.useful_messages
+            + self.useless_messages
+            + self.sync_messages
+            + self.fault_messages
+        )
 
     @property
     def total_bytes(self) -> int:
-        return self.useful_bytes + self.useless_bytes + self.sync_bytes
+        return (
+            self.useful_bytes
+            + self.useless_bytes
+            + self.sync_bytes
+            + self.fault_bytes
+        )
 
     @classmethod
     def from_run(cls, res: RunResult) -> "CaseResult":
@@ -91,6 +110,11 @@ class CaseResult:
             checksum=res.checksum,
             faults=res.stats.faults,
             monitoring_faults=res.stats.monitoring_faults,
+            fault_messages=c.fault_messages,
+            fault_bytes=c.fault_bytes,
+            retransmissions=res.stats.retransmissions,
+            duplicate_deliveries=res.stats.duplicate_deliveries,
+            timeout_stalls=res.stats.timeout_stalls,
         )
 
     # ------------------------------------------------------------------

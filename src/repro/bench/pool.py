@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.cache import cell_key
 from repro.bench.harness import CaseResult, ResultCache, config_for, run_case
+from repro.faults.channel import DroppedMessageError
 
 
 @dataclass(frozen=True)
@@ -64,8 +65,17 @@ class SweepCell:
 
 
 def _run_cell_json(cell: SweepCell) -> dict:
-    """Pool worker: run one cell, return its lossless JSON encoding."""
-    return run_case(cell.app, cell.dataset, cell.label, **cell.kwargs).to_json_dict()
+    """Pool worker: run one cell, return its lossless JSON encoding.
+
+    A cell whose fault plan exhausts the retransmission budget (retries
+    disabled, or a drop rate the retry cap cannot beat) fails alone: the
+    worker ships an error marker instead of poisoning the whole sweep.
+    """
+    try:
+        result = run_case(cell.app, cell.dataset, cell.label, **cell.kwargs)
+    except DroppedMessageError as exc:
+        return {"__failed__": str(exc)}
+    return result.to_json_dict()
 
 
 def dedupe_cells(cells: Sequence[SweepCell]) -> List[SweepCell]:
@@ -90,12 +100,17 @@ class SweepReport:
     ran: int = 0
     jobs: int = 1
     cells_run: List[str] = field(default_factory=list)
+    failed: List[Tuple[str, str]] = field(default_factory=list)
+    """``(cell, error)`` for cells that raised
+    :class:`repro.faults.channel.DroppedMessageError`; their results are
+    absent from the cache, everything else completed normally."""
 
     def summary(self) -> str:
+        tail = f", {len(self.failed)} failed" if self.failed else ""
         return (
             f"{self.requested} cells requested, {self.deduped} unique: "
             f"{self.cached} from cache, {self.ran} run "
-            f"({'serial' if self.jobs <= 1 else f'{self.jobs} jobs'})"
+            f"({'serial' if self.jobs <= 1 else f'{self.jobs} jobs'}){tail}"
         )
 
 
@@ -126,7 +141,12 @@ def run_cells(
         for cell in missing:
             if progress:
                 progress(f"run  {cell}")
-            ResultCache.get(cell.app, cell.dataset, cell.label, **cell.kwargs)
+            try:
+                ResultCache.get(cell.app, cell.dataset, cell.label, **cell.kwargs)
+            except DroppedMessageError as exc:
+                report.failed.append((str(cell), str(exc)))
+                if progress:
+                    progress(f"FAIL {cell}: {exc}")
         return report
 
     ctx = multiprocessing.get_context("spawn")
@@ -135,6 +155,11 @@ def run_cells(
         progress(f"fan-out: {len(missing)} cells over {nworkers} workers")
     with ctx.Pool(processes=nworkers) as pool:
         for cell, data in zip(missing, pool.map(_run_cell_json, missing)):
+            if "__failed__" in data:
+                report.failed.append((str(cell), data["__failed__"]))
+                if progress:
+                    progress(f"FAIL {cell}: {data['__failed__']}")
+                continue
             result = CaseResult.from_json_dict(data)
             ResultCache.put(cell.app, cell.dataset, cell.label, result,
                             **cell.kwargs)

@@ -7,7 +7,7 @@ one application, and read the returned :class:`RunResult`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -18,6 +18,8 @@ from repro.dsm.aggregation import make_aggregator
 from repro.dsm.intervals import IntervalStore
 from repro.dsm.lrc import LrcProc
 from repro.dsm.sync import SyncManager
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import parse_plan
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine, ProcContext
 from repro.sim.network import Network
@@ -58,6 +60,19 @@ class TreadMarks:
             self.trace.dataset = dataset
             self.engine.trace = self.trace
             self.network.trace = self.trace
+        self.faults: Optional[FaultInjector] = None
+        if config.fault_plan:
+            # Registered after the trace recorder (the trace property
+            # keeps itself first in the observer list), so timelines show
+            # each message before the faults injected into it.
+            self.faults = FaultInjector(
+                parse_plan(config.fault_plan),
+                config,
+                self.network,
+                self.stats,
+                trace=self.trace,
+            )
+            self.network.add_observer(self.faults)
         self.procs: List[LrcProc] = []
         for pid in range(config.nprocs):
             lp = LrcProc(
@@ -121,16 +136,30 @@ class TreadMarks:
         self.engine.run(fns, self.sync.service)
 
         checksum = returns[0]
-        return build_result(
+        proc_times = [ctx.clock.now for ctx in self.engine.procs]
+        if self.faults is not None:
+            # Fold the shadow fault overhead into the reported clocks.
+            # The live simulation clocks never saw these delays, so the
+            # schedule (and hence every protocol outcome) is the
+            # fault-free one; only reported time grows.
+            self.faults.finalize(proc_times)
+            proc_times = [
+                t + self.faults.overhead_us[pid]
+                for pid, t in enumerate(proc_times)
+            ]
+        result = build_result(
             app_name=self.app_name,
             dataset=self.dataset,
             config=self.config,
             network=self.network,
             stats=self.stats,
-            proc_times_us=[ctx.clock.now for ctx in self.engine.procs],
+            proc_times_us=proc_times,
             checksum=checksum if isinstance(checksum, (int, float)) else None,
             trace=self.trace,
         )
+        if self.faults is not None:
+            result.extra.update(self.faults.summary())
+        return result
 
     # ------------------------------------------------------------------
     def _credit(self, msg_id: int, nwords: int) -> None:

@@ -306,13 +306,18 @@ class LrcProc:
             ex = self.network.new_exchange(self.pid, writer, fault_id)
             exchange_ids.append(ex)
             req_bytes = REQUEST_BASE_BYTES + REQUEST_ENTRY_BYTES * n_notices
+            # Both legs of the exchange stall the faulting processor, so
+            # injected delivery faults (repro.faults) charge their delays
+            # to it, whichever direction the perturbed copy travels.
             req = self.network.record(
-                self.pid, writer, MessageClass.DIFF_REQUEST, req_bytes, now, ex
+                self.pid, writer, MessageClass.DIFF_REQUEST, req_bytes, now, ex,
+                waiter=self.pid,
             )
             reply_bytes = sum(d.wire_bytes for d in run_diffs)
             reply_words = sum(d.nwords for d in run_diffs)
             reply = self.network.record(
-                writer, self.pid, MessageClass.DIFF_REPLY, reply_bytes, now, ex
+                writer, self.pid, MessageClass.DIFF_REPLY, reply_bytes, now, ex,
+                waiter=self.pid,
             )
             reply.words_carried = reply_words
             for d in run_diffs:

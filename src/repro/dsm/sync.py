@@ -140,24 +140,33 @@ class SyncManager:
             lock.last_owner is None and self.config.nprocs == 1
         )
         now = max(req_ts, avail_ts)
+        # Every hop of the acquire path stalls the requester, so injected
+        # delivery faults (repro.faults) charge their delays to it.
         if cached:
             cost += LOCAL_SYNC_US
         elif lock.last_owner is None:
             # First acquire: manager grants directly (2 messages).
             cost += self.config.lock_acquire_overhead_us(remote=False)
-            self._record_lock_msg(proc, self.manager_pid, LOCK_REQUEST_BYTES, now)
             self._record_lock_msg(
-                self.manager_pid, proc, LOCK_REQUEST_BYTES + notice_bytes, now
+                proc, self.manager_pid, LOCK_REQUEST_BYTES, now, waiter=proc
+            )
+            self._record_lock_msg(
+                self.manager_pid, proc, LOCK_REQUEST_BYTES + notice_bytes, now,
+                waiter=proc,
             )
             self.stats.lock_remote_acquires += 1
         else:
             # Remote: requester -> manager -> last owner -> requester.
             cost += self.config.lock_acquire_overhead_us(remote=True)
             owner = lock.last_owner
-            self._record_lock_msg(proc, self.manager_pid, LOCK_REQUEST_BYTES, now)
-            self._record_lock_msg(self.manager_pid, owner, LOCK_REQUEST_BYTES, now)
             self._record_lock_msg(
-                owner, proc, LOCK_REQUEST_BYTES + notice_bytes, now
+                proc, self.manager_pid, LOCK_REQUEST_BYTES, now, waiter=proc
+            )
+            self._record_lock_msg(
+                self.manager_pid, owner, LOCK_REQUEST_BYTES, now, waiter=proc
+            )
+            self._record_lock_msg(
+                owner, proc, LOCK_REQUEST_BYTES + notice_bytes, now, waiter=proc
             )
             self.stats.lock_remote_acquires += 1
 
@@ -171,12 +180,15 @@ class SyncManager:
         return Resume(proc, wake_ts)
 
     def _record_lock_msg(
-        self, src: int, dst: int, payload: int, now: float
+        self, src: int, dst: int, payload: int, now: float,
+        waiter: Optional[int] = None,
     ) -> None:
         """Record one lock-protocol message, skipping the hops that are
         local because two roles coincide on one processor."""
         if src != dst:
-            self.network.record(src, dst, MessageClass.LOCK, payload, now)
+            self.network.record(
+                src, dst, MessageClass.LOCK, payload, now, waiter=waiter
+            )
 
     # ------------------------------------------------------------------
     # Barriers
@@ -211,20 +223,24 @@ class SyncManager:
         for proc, arrive_ts in arrivals:
             lp = self.procs[proc]
             if proc != self.manager_pid:
-                # Arrival message carries the client's new write notices.
+                # Arrival message carries the client's new write notices;
+                # the manager waits on it before releasing the barrier.
                 self.network.record(
                     proc, self.manager_pid, MessageClass.BARRIER,
                     LOCK_REQUEST_BYTES
                     + lp.unsent_notices * self.config.write_notice_bytes,
                     arrive_ts,
+                    waiter=self.manager_pid,
                 )
             lp.unsent_notices = 0
             cost, notice_bytes, _ = lp.apply_notices_upto(merged)
             if proc != self.manager_pid:
-                # Departure message carries everyone else's notices.
+                # Departure message carries everyone else's notices; the
+                # departing client waits on it.
                 self.network.record(
                     self.manager_pid, proc, MessageClass.BARRIER,
                     LOCK_REQUEST_BYTES + notice_bytes, last_ts,
+                    waiter=proc,
                 )
             wake_ts = last_ts + overhead + cost
             if self.trace is not None:

@@ -1,0 +1,74 @@
+"""repro.faults -- the fault-injection lab.
+
+A seeded, deterministic model of an unreliable network (message drop,
+duplication, bounded reorder, latency jitter, node stragglers) layered
+onto the simulator's message ledger, plus the timeout/ack/retransmit
+machinery that recovers from it and a chaos-sweep gate that proves the
+recovery is *transparent*: under any fault plan with retries enabled,
+checksums and every useful-data counter are bit-identical to the
+fault-free golden baseline -- only time and fault-cost counters grow.
+
+The model is *shadow-cost*: injected delays accrue in a per-processor
+side ledger and are folded into the reported clocks after the run, so
+the live discrete-event schedule (and hence every protocol decision)
+is exactly the fault-free one.  Each message's fate is drawn from an
+RNG keyed by ``(plan.seed, msg_id)`` -- see :func:`message_rng` -- so
+fates are independent of how many random draws other messages consumed.
+
+Entry points: :class:`FaultPlan` (serialized through
+``SimConfig.fault_plan``), :class:`FaultInjector` (a
+``Network`` observer wired up by :class:`repro.core.treadmarks.TreadMarks`),
+and ``python -m repro.faults`` (single faulty runs and ``--chaos-sweep``).
+"""
+
+from repro.faults.channel import (
+    Delivery,
+    DroppedMessageError,
+    ReliableChannel,
+    XmitPhase,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    ANY_CLASS,
+    KNOWN_CLASSES,
+    FaultPlan,
+    FaultSpec,
+    StragglerWindow,
+    message_rng,
+    parse_plan,
+)
+
+# The chaos gate pulls in the bench layer (and through it the apps and
+# the runtime, which itself imports this package), so its names resolve
+# lazily to keep ``import repro.faults`` cycle-free for the simulator.
+_GATE_NAMES = (
+    "FAULT_FIELDS",
+    "INVARIANT_FIELDS",
+    "CellVerdict",
+    "ChaosReport",
+    "run_chaos",
+)
+
+
+def __getattr__(name):
+    if name in _GATE_NAMES:
+        from repro.faults import gate
+
+        return getattr(gate, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ANY_CLASS",
+    "KNOWN_CLASSES",
+    "Delivery",
+    "DroppedMessageError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ReliableChannel",
+    "StragglerWindow",
+    "XmitPhase",
+    "message_rng",
+    "parse_plan",
+]

@@ -1,0 +1,181 @@
+"""Timeout / ack / retransmit state machine of the fault lab.
+
+The simulated protocol layers assume reliable delivery (TreadMarks runs
+over UDP with its own retransmission layer); this module models that
+layer.  One :class:`ReliableChannel` per ``(src, dst)`` processor pair
+walks every message through the classic stop-and-wait automaton::
+
+    IN_FLIGHT --delivered--> WAIT_ACK --ack--> DELIVERED
+        ^                        |
+        |   timeout: retransmit  | ack lost: retransmit arrives as a
+        +--------(backoff)-------+ duplicate at the receiver
+
+* a transmission is lost with the spec's ``drop_rate``; the sender times
+  out (``plan.timeout_us`` with exponential ``plan.backoff``) and
+  retransmits, up to ``plan.max_retries`` times -- exceeding the cap (or
+  losing the first copy with retries disabled) raises
+  :class:`DroppedMessageError`;
+* the ack is lost with the same probability, in which case the delivery
+  already happened and the timed-out retransmission arrives at the
+  receiver as a *duplicate*, which the receiver discards;
+* independent of loss, the network may duplicate (``dup_rate``), delay
+  (``jitter_us``) or reorder (``reorder_rate`` / ``reorder_window``) a
+  delivered message.
+
+The machine is driven entirely by the per-message RNG from
+:func:`repro.faults.plan.message_rng`; it never reads wall-clock or
+global state, so one ``(plan, msg_id)`` pair always yields the same
+:class:`Delivery`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+#: Extra delivery delay per position a reordered message slips back,
+#: roughly the per-message service gap of the paper platform's NIC.
+REORDER_SLIP_US = 25.0
+
+
+class DroppedMessageError(RuntimeError):
+    """A message exhausted its retransmission budget (or retries are
+    disabled and the first copy was lost): the simulated protocol cannot
+    make progress.  The bench harness treats this as a graceful per-cell
+    failure rather than a crash."""
+
+    def __init__(self, msg_id: int, klass: str, attempts: int) -> None:
+        super().__init__(
+            f"message {msg_id} ({klass}) lost after {attempts} "
+            f"transmission attempt(s); retransmission budget exhausted"
+        )
+        self.msg_id = msg_id
+        self.klass = klass
+        self.attempts = attempts
+
+
+class XmitPhase(enum.Enum):
+    """Phases of one message's trip through the reliable channel."""
+
+    IN_FLIGHT = "in_flight"
+    WAIT_ACK = "wait_ack"
+    DELIVERED = "delivered"
+    FAILED = "failed"
+
+
+@dataclass
+class Delivery:
+    """Resolved outcome of transmitting one message."""
+
+    attempts: int = 1
+    """Transmissions until the receiver got a copy (1 = no loss)."""
+
+    failed: bool = False
+    """True when the retransmission budget was exhausted."""
+
+    timeout_stall_us: float = 0.0
+    """Total sender-side timeout time before the delivering attempt."""
+
+    resend_offsets_us: Tuple[float, ...] = ()
+    """Offset (after the original send) of each retransmission."""
+
+    ack_resend: bool = False
+    """The ack was lost: one more retransmission went out after
+    delivery and reached the receiver as a duplicate."""
+
+    net_dup: bool = False
+    """The network itself duplicated the delivered copy."""
+
+    jitter_us: float = 0.0
+    reorder_depth: int = 0
+    reorder_us: float = 0.0
+
+    @property
+    def retransmissions(self) -> int:
+        """Copies sent beyond the first (timeouts plus a lost ack)."""
+        return (self.attempts - 1) + (1 if self.ack_resend else 0)
+
+    @property
+    def duplicate_deliveries(self) -> int:
+        """Copies the receiver saw and discarded."""
+        return (1 if self.ack_resend else 0) + (1 if self.net_dup else 0)
+
+    @property
+    def extra_delay_us(self) -> float:
+        """Delivery-latency inflation excluding retransmission stalls."""
+        return self.jitter_us + self.reorder_us
+
+
+@dataclass
+class ReliableChannel:
+    """Per-(src, dst) reliable-delivery endpoint with link counters."""
+
+    src: int
+    dst: int
+    plan: FaultPlan
+    sent: int = 0
+    delivered: int = 0
+    retransmitted: int = 0
+    failed: int = 0
+    history: List[XmitPhase] = field(default_factory=list)
+
+    def transmit(self, msg_id: int, klass: str, spec: FaultSpec, rng) -> Delivery:
+        """Resolve one message's delivery; raises
+        :class:`DroppedMessageError` when the budget is exhausted."""
+        plan = self.plan
+        self.sent += 1
+        out = Delivery()
+        phase = XmitPhase.IN_FLIGHT
+        offsets: List[float] = []
+        elapsed = 0.0
+
+        # Loss / timeout / retransmit loop.
+        while phase is XmitPhase.IN_FLIGHT:
+            lost = rng.random() < spec.drop_rate
+            if not lost:
+                phase = XmitPhase.WAIT_ACK
+                break
+            retries_used = out.attempts - 1
+            if not plan.retries_enabled or retries_used >= plan.max_retries:
+                phase = XmitPhase.FAILED
+                break
+            timeout = plan.timeout_us * plan.backoff**retries_used
+            elapsed += timeout
+            offsets.append(elapsed)
+            out.attempts += 1
+            out.timeout_stall_us += timeout
+
+        if phase is XmitPhase.FAILED:
+            out.failed = True
+            out.resend_offsets_us = tuple(offsets)
+            self.failed += 1
+            self.history.append(phase)
+            raise DroppedMessageError(msg_id, klass, out.attempts)
+
+        # Ack leg: a lost ack triggers one more (duplicate) copy.  The
+        # delivery already happened, so no stall accrues; the duplicate
+        # arrives one timeout later.
+        if plan.retries_enabled and rng.random() < spec.drop_rate:
+            out.ack_resend = True
+            retries_used = out.attempts - 1
+            elapsed += plan.timeout_us * plan.backoff**retries_used
+            offsets.append(elapsed)
+
+        # Network-level perturbations of the delivered copy.
+        if spec.dup_rate > 0.0 and rng.random() < spec.dup_rate:
+            out.net_dup = True
+        if spec.jitter_us > 0.0:
+            out.jitter_us = rng.random() * spec.jitter_us
+        if spec.reorder_rate > 0.0 and rng.random() < spec.reorder_rate:
+            out.reorder_depth = 1 + rng.randrange(spec.reorder_window)
+            out.reorder_us = out.reorder_depth * REORDER_SLIP_US
+
+        out.resend_offsets_us = tuple(offsets)
+        phase = XmitPhase.DELIVERED
+        self.delivered += 1
+        self.retransmitted += out.retransmissions
+        self.history.append(phase)
+        return out

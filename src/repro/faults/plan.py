@@ -1,0 +1,298 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` describes everything the fault lab may do to one
+simulated run: per-message-class drop / duplication / reorder / jitter
+rates (:class:`FaultSpec`), node straggler windows
+(:class:`StragglerWindow`), and the timeout/retransmit parameters of the
+reliable-delivery layer.
+
+Plans are immutable value objects with a canonical JSON form, carried
+through the simulation inside :attr:`repro.sim.config.SimConfig.fault_plan`
+(a string field, so the existing config serialization, cache keying, and
+sweep-cell plumbing work unchanged: two cells that differ only in their
+fault plan can never alias one cache entry).
+
+Determinism
+-----------
+Every random decision about one message is drawn from a private generator
+keyed by ``(plan.seed, msg_id)`` (:func:`message_rng`) -- the same scheme
+:func:`repro.bench.cache.cell_seed` uses for per-cell seeding.  The fate
+of message *i* therefore depends only on the plan seed and on *i*, never
+on how many random draws earlier messages consumed, which makes fault
+schedules reproducible run-to-run, identical between serial and pool
+execution, and stable under unrelated protocol changes that leave message
+ids untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Wildcard class label: a spec with this klass applies to every message
+#: class that has no class-specific spec of its own.
+ANY_CLASS = "*"
+
+#: Message-class labels a spec may name (the values of
+#: :class:`repro.sim.network.MessageClass`, duplicated here so this
+#: module stays import-light and cycle-free).
+KNOWN_CLASSES = (
+    "diff_request",
+    "diff_reply",
+    "lock",
+    "barrier",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Unreliability parameters for one message class (or ``"*"``)."""
+
+    klass: str = ANY_CLASS
+    """Message class this spec applies to (a
+    :class:`~repro.sim.network.MessageClass` value, or ``"*"``)."""
+
+    drop_rate: float = 0.0
+    """Per-transmission loss probability (also the ack-loss probability
+    of the reliable-delivery layer)."""
+
+    dup_rate: float = 0.0
+    """Probability the network itself duplicates a delivered message."""
+
+    reorder_rate: float = 0.0
+    """Probability a delivered message is held back behind later ones."""
+
+    reorder_window: int = 4
+    """Maximum number of later messages a reordered one slips behind."""
+
+    jitter_us: float = 0.0
+    """Maximum uniform extra delivery latency (microseconds)."""
+
+    def validate(self) -> None:
+        if self.klass != ANY_CLASS and self.klass not in KNOWN_CLASSES:
+            raise ValueError(
+                f"unknown message class {self.klass!r}; "
+                f"use one of {KNOWN_CLASSES} or {ANY_CLASS!r}"
+            )
+        for name in ("drop_rate", "dup_rate", "reorder_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {v}")
+        if self.reorder_window < 1:
+            raise ValueError(
+                f"reorder_window must be >= 1, got {self.reorder_window}"
+            )
+        if self.jitter_us < 0.0:
+            raise ValueError(f"jitter_us must be >= 0, got {self.jitter_us}")
+
+    @property
+    def active(self) -> bool:
+        """True when this spec can actually perturb a message."""
+        return (
+            self.drop_rate > 0.0
+            or self.dup_rate > 0.0
+            or self.reorder_rate > 0.0
+            or self.jitter_us > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """One node-level pause: processor ``proc`` is unresponsive for
+    ``duration_us`` starting at simulated time ``start_us``.
+
+    The injected cost is ``duration_us * factor``, charged once to the
+    processor's shadow overhead if it was still running when the window
+    opened (``factor`` < 1 models a slowdown rather than a full pause).
+    """
+
+    proc: int
+    start_us: float
+    duration_us: float
+    factor: float = 1.0
+
+    def validate(self, nprocs: Optional[int] = None) -> None:
+        if self.proc < 0:
+            raise ValueError(f"straggler proc must be >= 0, got {self.proc}")
+        if nprocs is not None and self.proc >= nprocs:
+            raise ValueError(
+                f"straggler proc {self.proc} outside 0..{nprocs - 1}"
+            )
+        if self.start_us < 0.0 or self.duration_us <= 0.0:
+            raise ValueError(
+                f"straggler window must have start_us >= 0 and "
+                f"duration_us > 0, got ({self.start_us}, {self.duration_us})"
+            )
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One complete, seeded description of an unreliable run."""
+
+    seed: int = 0
+    """Root seed of the per-message RNG keying (:func:`message_rng`)."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    """Per-class unreliability; a ``"*"`` spec covers unnamed classes."""
+
+    stragglers: Tuple[StragglerWindow, ...] = ()
+
+    max_retries: int = 8
+    """Retransmissions allowed per message before the sender gives up
+    (exceeding the cap raises
+    :class:`repro.faults.channel.DroppedMessageError`)."""
+
+    timeout_us: float = 1000.0
+    """Retransmission timeout of the first retry (roughly 3x the
+    paper platform's small-message RTT)."""
+
+    backoff: float = 2.0
+    """Exponential backoff multiplier between successive timeouts."""
+
+    retries_enabled: bool = True
+    """With retries disabled, the first lost transmission of a message
+    is fatal -- the configuration used to exercise the graceful per-cell
+    failure path of the bench harness."""
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def spec_for(self, klass: str) -> Optional[FaultSpec]:
+        """The effective spec for one message-class value: the
+        class-specific spec if present, else the ``"*"`` spec, else None
+        (meaning the class is never perturbed)."""
+        fallback = None
+        for spec in self.specs:
+            if spec.klass == klass:
+                return spec
+            if spec.klass == ANY_CLASS:
+                fallback = spec
+        return fallback
+
+    @property
+    def drops_messages(self) -> bool:
+        """True when any spec has a nonzero drop rate (the chaos gate
+        uses this to demand nonzero retransmission counts)."""
+        return any(s.drop_rate > 0.0 for s in self.specs)
+
+    @property
+    def active(self) -> bool:
+        return any(s.active for s in self.specs) or bool(self.stragglers)
+
+    def validate(self, nprocs: Optional[int] = None) -> None:
+        seen = set()
+        for spec in self.specs:
+            spec.validate()
+            if spec.klass in seen:
+                raise ValueError(f"duplicate spec for class {spec.klass!r}")
+            seen.add(spec.klass)
+        for win in self.stragglers:
+            win.validate(nprocs)
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_us <= 0.0:
+            raise ValueError(f"timeout_us must be > 0, got {self.timeout_us}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def replace(self, **kwargs: object) -> "FaultPlan":
+        """Copy with fields replaced and re-validated (e.g. a reseeded
+        variant for one cell of a chaos sweep)."""
+        plan = dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+        plan.validate()
+        return plan
+
+    # ------------------------------------------------------------------
+    # Serialization (carried in SimConfig.fault_plan)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        try:
+            specs = tuple(FaultSpec(**s) for s in data.pop("specs", ()))
+            stragglers = tuple(
+                StragglerWindow(**w) for w in data.pop("stragglers", ())
+            )
+            plan = cls(specs=specs, stragglers=stragglers, **data)
+        except TypeError as exc:
+            raise ValueError(f"malformed fault plan: {exc}") from exc
+        plan.validate()
+        return plan
+
+    def canonical(self) -> str:
+        """Canonical JSON: keys sorted, no whitespace.  This exact string
+        is stored in :attr:`SimConfig.fault_plan`, so it participates in
+        config hashing, cache keys, and sweep-cell identity."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        jitter_us: float = 0.0,
+        **kwargs: object,
+    ) -> "FaultPlan":
+        """A plan applying one ``"*"`` spec to every message class."""
+        spec = FaultSpec(
+            klass=ANY_CLASS,
+            drop_rate=drop_rate,
+            dup_rate=dup_rate,
+            reorder_rate=reorder_rate,
+            jitter_us=jitter_us,
+        )
+        plan = cls(seed=seed, specs=(spec,), **kwargs)  # type: ignore[arg-type]
+        plan.validate()
+        return plan
+
+
+def message_rng(seed: int, msg_id: int) -> random.Random:
+    """The private random generator deciding the fate of one message.
+
+    Keyed by ``(seed, msg_id)`` through SHA-256, so every message's
+    draws are independent of every other message's and of global RNG
+    state -- the property the same-seed determinism suite pins down.
+    """
+    digest = hashlib.sha256(f"repro.faults:{seed}:{msg_id}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+#: Module-level cache of parsed plans: TreadMarks parses the plan string
+#: once per run, but validate() on hot config paths should not re-parse.
+_parse_cache: Dict[str, FaultPlan] = {}
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse (and memoize) a canonical plan string; '' means no plan."""
+    if not text:
+        raise ValueError("empty fault plan string")
+    plan = _parse_cache.get(text)
+    if plan is None:
+        plan = FaultPlan.from_json(text)
+        if len(_parse_cache) < 4096:
+            _parse_cache[text] = plan
+    return plan

@@ -151,6 +151,20 @@ class SimConfig:
     ``tests/trace/test_zero_cost.py``); the only cost is host memory for
     the event list."""
 
+    fault_plan: str = ""
+    """Canonical JSON of a :class:`repro.faults.plan.FaultPlan` ("" =
+    perfectly reliable network, the paper's assumption).  A nonempty
+    plan attaches a :class:`repro.faults.inject.FaultInjector` to the
+    run: message loss, duplication, reorder, jitter, and node straggler
+    windows are modelled as *shadow costs* -- retransmission stalls and
+    delivery delays accrue in a side ledger added to the processor
+    clocks after the run, and injected copies appear as RETRANSMIT-class
+    ledger messages -- so the protocol schedule, checksums, and all
+    useful-data counters stay bit-identical to the fault-free run (the
+    chaos gate in :mod:`repro.faults.gate` enforces this invariant).
+    Carried as a string so config serialization, hashing, and sweep-cell
+    identity extend to fault plans unchanged."""
+
     gc_threshold: int = 2048
     """Garbage-collect consistency metadata at a barrier once the live
     interval count exceeds this (0 disables).  TreadMarks performs the
@@ -233,6 +247,12 @@ class SimConfig:
             )
         if self.word_size != 4:
             raise ValueError("the instrumentation assumes 4-byte words")
+        if self.fault_plan:
+            # Parse-validate the embedded plan (lazy import: the faults
+            # package depends on this module, not the other way around).
+            from repro.faults.plan import parse_plan
+
+            parse_plan(self.fault_plan).validate(self.nprocs)
 
     def replace(self, **kwargs: object) -> "SimConfig":
         """Return a copy with the given fields replaced (and validated)."""

@@ -15,7 +15,7 @@ message breakdown.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.sim.config import SimConfig
@@ -35,6 +35,12 @@ class MessageClass(enum.Enum):
 
     BARRIER = "barrier"
     """Barrier arrival / departure traffic."""
+
+    RETRANSMIT = "retransmit"
+    """Transport-level copies injected by the fault lab: timed-out
+    retransmissions and duplicate deliveries (see :mod:`repro.faults`).
+    Never produced by the protocol itself, never classified useful or
+    useless, and excluded from the usefulness breakdowns."""
 
 
 #: Message classes whose payload is classified word-by-word into useful and
@@ -107,10 +113,46 @@ class Network:
         self._by_class: Dict[MessageClass, int] = {c: 0 for c in MessageClass}
         self._bytes_by_class: Dict[MessageClass, int] = {c: 0 for c in MessageClass}
         self._next_exchange = 0
-        self.trace = None
-        """Optional :class:`repro.trace.recorder.TraceRecorder` attached
-        by the runtime; every recorded message is mirrored as a trace
-        event.  Observer-only: never affects accounting."""
+        self._observers: List[object] = []
+        self._trace = None
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    @property
+    def trace(self):
+        """Optional :class:`repro.trace.recorder.TraceRecorder`; every
+        recorded message is mirrored as a trace event.  Stored in the
+        shared observer list (always first, so the trace sees a message
+        before any fault injector reacts to it); assigning None detaches
+        it.  Observer-only: never affects accounting."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, recorder) -> None:
+        if self._trace is not None:
+            self._observers.remove(self._trace)
+        self._trace = recorder
+        if recorder is not None:
+            self._observers.insert(0, recorder)
+
+    def add_observer(self, observer: object) -> None:
+        """Register a message observer (``on_message(rec, wire_time_us,
+        waiter)``).  Observers are notified in registration order, after
+        the trace recorder; the shared list replaces the former bare
+        ``trace`` attribute so trace and fault injection compose without
+        ordering hazards."""
+        if observer in self._observers:
+            raise ValueError("observer registered twice")
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: object) -> None:
+        self._observers.remove(observer)
+
+    @property
+    def observers(self) -> tuple:
+        """Snapshot of the registered observers, notification order."""
+        return tuple(self._observers)
 
     # ------------------------------------------------------------------
     # Recording
@@ -123,8 +165,16 @@ class Network:
         payload_bytes: int,
         send_time_us: float,
         exchange_id: Optional[int] = None,
+        waiter: Optional[int] = None,
     ) -> MessageRecord:
-        """Record one message; returns its ledger entry."""
+        """Record one message; returns its ledger entry.
+
+        ``waiter`` names the processor that stalls until this message is
+        delivered (the faulting processor for a diff exchange, the
+        acquirer for lock traffic, ...).  It is accounting metadata for
+        observers -- the fault injector charges injected delivery delays
+        to it -- and never affects the ledger itself.
+        """
         if src == dst:
             raise ValueError(f"message to self: proc {src}")
         if payload_bytes < 0:
@@ -141,8 +191,9 @@ class Network:
         self.messages.append(rec)
         self._by_class[klass] += 1
         self._bytes_by_class[klass] += payload_bytes
-        if self.trace is not None:
-            self.trace.on_message(rec, self.config.msg_cost_us(payload_bytes))
+        wire_time = self.config.msg_cost_us(payload_bytes)
+        for obs in tuple(self._observers):
+            obs.on_message(rec, wire_time, waiter)
         return rec
 
     def new_exchange(self, requester: int, writer: int, fault_id: int) -> int:
@@ -195,6 +246,11 @@ class Network:
             self._by_class[c]
             for c in (MessageClass.DIFF_REQUEST, MessageClass.DIFF_REPLY)
         )
+
+    @property
+    def fault_message_count(self) -> int:
+        """Transport-level copies injected by the fault lab."""
+        return self._by_class[MessageClass.RETRANSMIT]
 
     def exchange_reply(self, ex_id: int) -> MessageRecord:
         """The reply message of an exchange (for usefulness queries)."""

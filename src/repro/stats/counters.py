@@ -66,6 +66,20 @@ class ProtocolStats:
     lock_remote_acquires: int = 0
     barriers: int = 0
 
+    # ------------------------------------------------------------------
+    # Fault-lab counters (repro.faults): all zero on a reliable network.
+    # ------------------------------------------------------------------
+    retransmissions: int = 0
+    """Message copies re-sent by the reliable-delivery layer (timeouts
+    plus lost-ack resends)."""
+
+    duplicate_deliveries: int = 0
+    """Copies the receiver saw more than once and discarded."""
+
+    timeout_stalls: int = 0
+    """Retransmission timeouts a sender sat through (each contributes
+    shadow stall time to the waiting processor)."""
+
     fault_records: List[FaultRecord] = field(default_factory=list)
 
     def record_fault(

@@ -47,9 +47,23 @@ class CommBreakdown:
     sync_bytes: int = 0
     """Lock / barrier payloads (consistency metadata)."""
 
+    fault_messages: int = 0
+    """Transport-level copies injected by the fault lab (RETRANSMIT
+    class): retransmissions and duplicate deliveries.  Zero on a
+    reliable network; excluded from the useful/useless classification
+    because they re-carry data already classified on the original."""
+
+    fault_bytes: int = 0
+    """Payload bytes of the injected copies."""
+
     @property
     def total_messages(self) -> int:
-        return self.useful_messages + self.useless_messages + self.sync_messages
+        return (
+            self.useful_messages
+            + self.useless_messages
+            + self.sync_messages
+            + self.fault_messages
+        )
 
     @property
     def data_messages(self) -> int:
@@ -57,7 +71,12 @@ class CommBreakdown:
 
     @property
     def total_bytes(self) -> int:
-        return self.useful_bytes + self.useless_bytes + self.sync_bytes
+        return (
+            self.useful_bytes
+            + self.useless_bytes
+            + self.sync_bytes
+            + self.fault_bytes
+        )
 
 
 @dataclass
@@ -107,6 +126,10 @@ def summarize_comm(network: Network, config: SimConfig) -> CommBreakdown:
             exchange_useless[msg.exchange_id] = msg.is_useless
 
     for msg in network.messages:
+        if msg.klass is MessageClass.RETRANSMIT:
+            comm.fault_messages += 1
+            comm.fault_bytes += msg.payload_bytes
+            continue
         if msg.klass in (MessageClass.LOCK, MessageClass.BARRIER):
             comm.sync_messages += 1
             comm.sync_bytes += msg.payload_bytes

@@ -226,6 +226,48 @@ class GroupDissolveEvent(TraceEvent):
 
 
 @dataclass
+class FaultInjectedEvent(TraceEvent):
+    """The fault lab perturbed one message delivery (or, for
+    ``fault == "straggler"``, paused a node).  ``proc`` is the processor
+    that pays the injected delay."""
+
+    msg_id: int = -1
+    """Ledger id of the perturbed message (-1 for straggler windows)."""
+
+    klass: str = ""
+    """Message class of the perturbed message ("" for stragglers)."""
+
+    fault: str = ""
+    """``"drop"`` / ``"dup"`` / ``"jitter"`` / ``"reorder"`` /
+    ``"straggler"``."""
+
+    delay_us: float = 0.0
+    """Shadow delay charged for this fault (0 for pure duplicates)."""
+
+    def __post_init__(self) -> None:
+        self.kind = "fault_injected"
+
+
+@dataclass
+class RetransmitEvent(TraceEvent):
+    """The reliable-delivery layer re-sent one message copy (``proc`` is
+    the sender; the copy is also in the ledger as a RETRANSMIT-class
+    message)."""
+
+    msg_id: int = -1
+    klass: str = ""
+    attempt: int = 0
+    """Transmission attempt number of this copy (2 = first resend)."""
+
+    stall_us: float = 0.0
+    """Timeout the sender sat through before this copy (0 for the
+    ack-loss resend, which happens after delivery)."""
+
+    def __post_init__(self) -> None:
+        self.kind = "retransmit"
+
+
+@dataclass
 class ParkEvent(TraceEvent):
     """A processor parked at a synchronization operation (engine level)."""
 

@@ -19,7 +19,7 @@ the protocol; nothing here re-derives timing.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.trace.events import TraceEvent, event_to_dict
 from repro.trace.recorder import TraceRecorder
@@ -226,6 +226,35 @@ def chrome_trace(
         elif instants and kind == "group_dissolve":
             out.append(
                 _instant("group dissolve", "agg", ev.proc, ev.ts_us, {"page": ev.page})
+            )
+        elif instants and kind == "fault_injected":
+            out.append(
+                _instant(
+                    f"fault:{ev.fault}",
+                    "fault",
+                    ev.proc,
+                    ev.ts_us,
+                    {
+                        "msg_id": ev.msg_id,
+                        "klass": ev.klass,
+                        "delay_us": ev.delay_us,
+                    },
+                )
+            )
+        elif kind == "retransmit":
+            out.append(
+                _slice(
+                    "retransmit",
+                    "fault",
+                    ev.proc,
+                    ev.ts_us - ev.stall_us,
+                    ev.stall_us,
+                    {
+                        "msg_id": ev.msg_id,
+                        "klass": ev.klass,
+                        "attempt": ev.attempt,
+                    },
+                )
             )
 
     return {

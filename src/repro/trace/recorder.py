@@ -26,6 +26,7 @@ from repro.trace.events import (
     DiffApplyEvent,
     DiffCreateEvent,
     FaultEvent,
+    FaultInjectedEvent,
     GroupBuildEvent,
     GroupDissolveEvent,
     GroupFetchEvent,
@@ -34,6 +35,7 @@ from repro.trace.events import (
     MessageEvent,
     ParkEvent,
     ResumeEvent,
+    RetransmitEvent,
     TraceEvent,
     TwinEvent,
 )
@@ -147,7 +149,12 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # Network (repro.sim.network)
     # ------------------------------------------------------------------
-    def on_message(self, rec: "MessageRecord", wire_time_us: float) -> int:
+    def on_message(
+        self,
+        rec: "MessageRecord",
+        wire_time_us: float,
+        waiter: Optional[int] = None,
+    ) -> int:
         return self._emit(
             MessageEvent(
                 -1,
@@ -160,6 +167,51 @@ class TraceRecorder:
                 payload_bytes=rec.payload_bytes,
                 recv_ts_us=rec.send_time_us + wire_time_us,
                 exchange_id=rec.exchange_id,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Fault lab (repro.faults.inject)
+    # ------------------------------------------------------------------
+    def on_fault_injected(
+        self,
+        proc: int,
+        ts: float,
+        msg_id: int,
+        klass: str,
+        fault: str,
+        delay_us: float,
+    ) -> int:
+        return self._emit(
+            FaultInjectedEvent(
+                -1,
+                ts,
+                proc,
+                msg_id=msg_id,
+                klass=klass,
+                fault=fault,
+                delay_us=delay_us,
+            )
+        )
+
+    def on_retransmit(
+        self,
+        proc: int,
+        ts: float,
+        msg_id: int,
+        klass: str,
+        attempt: int,
+        stall_us: float,
+    ) -> int:
+        return self._emit(
+            RetransmitEvent(
+                -1,
+                ts,
+                proc,
+                msg_id=msg_id,
+                klass=klass,
+                attempt=attempt,
+                stall_us=stall_us,
             )
         )
 

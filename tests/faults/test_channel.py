@@ -1,0 +1,101 @@
+"""Stop-and-wait reliable-channel state machine."""
+
+import pytest
+
+from repro.faults.channel import (
+    REORDER_SLIP_US,
+    DroppedMessageError,
+    ReliableChannel,
+    XmitPhase,
+)
+from repro.faults.plan import FaultPlan, FaultSpec, message_rng
+
+
+def channel(plan=None):
+    return ReliableChannel(src=0, dst=1, plan=plan or FaultPlan())
+
+
+def test_clean_delivery_touches_nothing():
+    ch = channel()
+    d = ch.transmit(0, "lock", FaultSpec(), message_rng(0, 0))
+    assert d.attempts == 1 and not d.failed
+    assert d.retransmissions == 0 and d.duplicate_deliveries == 0
+    assert d.timeout_stall_us == 0.0 and d.extra_delay_us == 0.0
+    assert d.resend_offsets_us == ()
+    assert ch.history == [XmitPhase.DELIVERED]
+    assert (ch.sent, ch.delivered, ch.failed) == (1, 1, 0)
+
+
+def test_certain_loss_exhausts_retry_budget():
+    plan = FaultPlan(max_retries=3, timeout_us=100.0, backoff=2.0)
+    ch = channel(plan)
+    spec = FaultSpec(drop_rate=0.999999999)
+    with pytest.raises(DroppedMessageError) as exc:
+        ch.transmit(7, "barrier", spec, message_rng(0, 7))
+    # Initial transmission + max_retries copies, all lost.
+    assert exc.value.attempts == plan.max_retries + 1
+    assert exc.value.msg_id == 7 and exc.value.klass == "barrier"
+    assert ch.failed == 1 and ch.history == [XmitPhase.FAILED]
+
+
+def test_retries_disabled_first_loss_is_fatal():
+    plan = FaultPlan(retries_enabled=False)
+    with pytest.raises(DroppedMessageError) as exc:
+        channel(plan).transmit(3, "lock", FaultSpec(drop_rate=0.999999999),
+                               message_rng(0, 3))
+    assert exc.value.attempts == 1
+
+
+def test_timeout_backoff_schedule():
+    # Find a message whose first two transmissions are lost under a
+    # heavy drop rate, and check the exponential backoff arithmetic.
+    plan = FaultPlan(timeout_us=100.0, backoff=2.0, max_retries=8)
+    spec = FaultSpec(drop_rate=0.6)
+    for msg_id in range(200):
+        d = channel(plan).transmit(msg_id, "lock", spec,
+                                   message_rng(1, msg_id))
+        if d.attempts == 3 and not d.ack_resend:
+            # Timeouts: 100 (retry 0), then 200 (retry 1).
+            assert d.resend_offsets_us == (100.0, 300.0)
+            assert d.timeout_stall_us == 300.0
+            assert d.retransmissions == 2
+            return
+    pytest.fail("no message with exactly two timeout retransmissions found")
+
+
+def test_lost_ack_is_duplicate_not_stall():
+    plan = FaultPlan(timeout_us=100.0, backoff=2.0)
+    spec = FaultSpec(drop_rate=0.5)
+    for msg_id in range(400):
+        d = channel(plan).transmit(msg_id, "lock", spec,
+                                   message_rng(2, msg_id))
+        if d.ack_resend and d.attempts == 1:
+            assert d.retransmissions == 1
+            assert d.duplicate_deliveries >= 1
+            assert d.timeout_stall_us == 0.0  # delivery already happened
+            assert d.resend_offsets_us == (100.0,)
+            return
+    pytest.fail("no delivered-but-ack-lost message found")
+
+
+def test_network_duplicate_and_jitter_and_reorder():
+    spec = FaultSpec(dup_rate=0.999999999, reorder_rate=0.999999999,
+                     reorder_window=4, jitter_us=50.0)
+    d = channel().transmit(0, "diff_reply", spec, message_rng(3, 0))
+    assert d.net_dup and d.duplicate_deliveries == 1
+    assert 0.0 <= d.jitter_us < 50.0
+    assert 1 <= d.reorder_depth <= 4
+    assert d.reorder_us == d.reorder_depth * REORDER_SLIP_US
+    assert d.extra_delay_us == d.jitter_us + d.reorder_us
+
+
+def test_transmit_is_deterministic_per_key():
+    plan = FaultPlan(timeout_us=50.0)
+    spec = FaultSpec(drop_rate=0.3, dup_rate=0.2, reorder_rate=0.2,
+                     jitter_us=10.0)
+    for msg_id in range(32):
+        a = channel(plan).transmit(msg_id, "lock", spec,
+                                   message_rng(9, msg_id))
+        b = channel(plan).transmit(msg_id, "lock", spec,
+                                   message_rng(9, msg_id))
+        assert a == b

@@ -1,0 +1,114 @@
+"""Fault-schedule determinism and the transparency invariant.
+
+Two layers:
+
+* hypothesis properties over the plan/channel machinery: same-seed
+  plans produce identical fault schedules, and a message's fate is
+  independent of every other message's;
+* whole-simulation checks: a faulty run is bit-reproducible, and for
+  every application on its smallest paper dataset (at 4K and Dyn) the
+  checksum and every useful-data counter equal the committed fault-free
+  golden baseline -- the chaos-gate invariant, pinned in-process.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.golden import (
+    GOLDEN_DIR,
+    SMALL_DATASETS,
+    load_app_golden,
+)
+from repro.bench.harness import run_case
+from repro.faults.channel import DroppedMessageError, ReliableChannel
+from repro.faults.gate import FAULT_FIELDS, INVARIANT_FIELDS
+from repro.faults.plan import FaultPlan, message_rng
+
+#: One stock lossy plan reused by the whole-simulation checks.
+PLAN = FaultPlan.uniform(
+    seed=1701, drop_rate=0.02, dup_rate=0.01, reorder_rate=0.02,
+    jitter_us=50.0,
+)
+
+rates = st.floats(min_value=0.0, max_value=0.6)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def resolve(plan, spec, klass, msg_id, ch=None):
+    """One message's fate -- its Delivery, or its failure identity (a
+    budget-exhausted message fails deterministically too)."""
+    ch = ch or ReliableChannel(src=0, dst=1, plan=plan)
+    try:
+        return ch.transmit(msg_id, klass, spec, message_rng(plan.seed, msg_id))
+    except DroppedMessageError as exc:
+        return ("failed", exc.msg_id, exc.attempts)
+
+
+def schedule(plan, n_msgs=64, klass="lock"):
+    """The fault schedule of ``n_msgs`` messages on one link: every
+    message's resolved fate, in order."""
+    spec = plan.spec_for(klass)
+    ch = ReliableChannel(src=0, dst=1, plan=plan)
+    return [resolve(plan, spec, klass, i, ch) for i in range(n_msgs)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, drop=rates, dup=rates)
+def test_same_seed_same_schedule(seed, drop, dup):
+    plan = FaultPlan.uniform(seed=seed, drop_rate=drop, dup_rate=dup,
+                             reorder_rate=0.1, jitter_us=20.0)
+    assert schedule(plan) == schedule(plan)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, drop=rates)
+def test_message_fates_are_independent(seed, drop):
+    # Resolving only a subset of the messages does not change the fate
+    # of the rest: each message's draws come from its own keyed RNG.
+    plan = FaultPlan.uniform(seed=seed, drop_rate=drop, dup_rate=0.2,
+                             jitter_us=10.0)
+    spec = plan.spec_for("lock")
+    full = schedule(plan, n_msgs=32)
+    sparse = [resolve(plan, spec, "lock", i) for i in range(0, 32, 5)]
+    assert sparse == full[::5]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_distinct_seeds_usually_disagree(seed):
+    plan_a = FaultPlan.uniform(seed=seed, drop_rate=0.3, jitter_us=50.0)
+    plan_b = plan_a.replace(seed=seed + 1)
+    # Not a tautology -- 64 messages x several draws each make a
+    # collision over every field astronomically unlikely.
+    assert schedule(plan_a) != schedule(plan_b)
+
+
+# ----------------------------------------------------------------------
+# Whole-simulation determinism
+# ----------------------------------------------------------------------
+def test_faulty_run_is_bit_reproducible():
+    a = run_case("Jacobi", SMALL_DATASETS["Jacobi"], "4K",
+                 fault_plan=PLAN.canonical())
+    b = run_case("Jacobi", SMALL_DATASETS["Jacobi"], "4K",
+                 fault_plan=PLAN.canonical())
+    assert a.to_json_dict() == b.to_json_dict()
+    assert a.retransmissions > 0
+
+
+@pytest.mark.parametrize("app", sorted(SMALL_DATASETS))
+@pytest.mark.parametrize("label", ("4K", "Dyn"))
+def test_invariant_against_golden(app, label):
+    """The chaos-gate invariant for every application: under a lossy
+    plan with retries, only time and the fault counters move."""
+    golden = load_app_golden(GOLDEN_DIR, app)
+    assert golden is not None, f"no golden baseline for {app}"
+    entry = golden[SMALL_DATASETS[app]][label]
+    case = run_case(app, SMALL_DATASETS[app], label,
+                    fault_plan=PLAN.canonical())
+    for fname in INVARIANT_FIELDS:
+        assert getattr(case, fname) == entry[fname], (
+            f"{app}@{label}: {fname} diverged under faults"
+        )
+    assert case.time_us >= entry["time_us"]
+    assert sum(getattr(case, f) for f in FAULT_FIELDS) > 0

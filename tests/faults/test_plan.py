@@ -1,0 +1,156 @@
+"""Fault-plan value objects: validation, canonical form, RNG keying."""
+
+import pytest
+
+from repro.faults.plan import (
+    ANY_CLASS,
+    FaultPlan,
+    FaultSpec,
+    StragglerWindow,
+    message_rng,
+    parse_plan,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultSpec
+# ----------------------------------------------------------------------
+def test_spec_defaults_inactive():
+    spec = FaultSpec()
+    spec.validate()
+    assert not spec.active
+
+
+@pytest.mark.parametrize("field,value", [
+    ("drop_rate", -0.1), ("drop_rate", 1.0),
+    ("dup_rate", 1.5), ("reorder_rate", -1e-9),
+    ("reorder_window", 0), ("jitter_us", -1.0),
+])
+def test_spec_rejects_bad_values(field, value):
+    with pytest.raises(ValueError):
+        FaultSpec(**{field: value}).validate()
+
+
+def test_spec_rejects_unknown_class():
+    with pytest.raises(ValueError, match="unknown message class"):
+        FaultSpec(klass="carrier_pigeon").validate()
+
+
+def test_spec_active_flags():
+    assert FaultSpec(drop_rate=0.1).active
+    assert FaultSpec(jitter_us=1.0).active
+    assert not FaultSpec(reorder_window=8).active
+
+
+# ----------------------------------------------------------------------
+# StragglerWindow
+# ----------------------------------------------------------------------
+def test_straggler_validation():
+    StragglerWindow(proc=2, start_us=0.0, duration_us=10.0).validate(4)
+    with pytest.raises(ValueError, match="outside"):
+        StragglerWindow(proc=4, start_us=0.0, duration_us=10.0).validate(4)
+    with pytest.raises(ValueError, match="factor"):
+        StragglerWindow(proc=0, start_us=0.0, duration_us=1.0,
+                        factor=1.5).validate()
+    with pytest.raises(ValueError, match="duration_us"):
+        StragglerWindow(proc=0, start_us=0.0, duration_us=0.0).validate()
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_uniform_plan_spec_for_falls_back_to_wildcard():
+    plan = FaultPlan.uniform(seed=3, drop_rate=0.1)
+    spec = plan.spec_for("lock")
+    assert spec is not None and spec.klass == ANY_CLASS
+    assert plan.drops_messages and plan.active
+
+
+def test_class_specific_spec_wins_over_wildcard():
+    plan = FaultPlan(seed=0, specs=(
+        FaultSpec(klass=ANY_CLASS, drop_rate=0.1),
+        FaultSpec(klass="lock", drop_rate=0.5),
+    ))
+    plan.validate()
+    assert plan.spec_for("lock").drop_rate == 0.5
+    assert plan.spec_for("barrier").drop_rate == 0.1
+
+
+def test_unlisted_class_gets_none_without_wildcard():
+    plan = FaultPlan(seed=0, specs=(FaultSpec(klass="lock", drop_rate=0.5),))
+    assert plan.spec_for("barrier") is None
+
+
+def test_duplicate_class_specs_rejected():
+    plan = FaultPlan(specs=(FaultSpec(klass="lock"), FaultSpec(klass="lock")))
+    with pytest.raises(ValueError, match="duplicate spec"):
+        plan.validate()
+
+
+def test_plan_parameter_validation():
+    with pytest.raises(ValueError, match="max_retries"):
+        FaultPlan(max_retries=-1).validate()
+    with pytest.raises(ValueError, match="timeout_us"):
+        FaultPlan(timeout_us=0.0).validate()
+    with pytest.raises(ValueError, match="backoff"):
+        FaultPlan(backoff=0.5).validate()
+
+
+def test_replace_revalidates():
+    plan = FaultPlan.uniform(seed=1, drop_rate=0.1)
+    assert plan.replace(seed=9).seed == 9
+    with pytest.raises(ValueError):
+        plan.replace(timeout_us=-1.0)
+
+
+def test_canonical_round_trip():
+    plan = FaultPlan.uniform(
+        seed=11, drop_rate=0.05, dup_rate=0.01, reorder_rate=0.02,
+        jitter_us=25.0,
+    ).replace(stragglers=(
+        StragglerWindow(proc=1, start_us=100.0, duration_us=50.0, factor=0.5),
+    ))
+    text = plan.canonical()
+    assert FaultPlan.from_json(text) == plan
+    # Canonical form is stable: round-tripping reproduces the string.
+    assert FaultPlan.from_json(text).canonical() == text
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.from_json("{nope")
+    with pytest.raises(ValueError, match="must be an object"):
+        FaultPlan.from_json("[1,2]")
+    with pytest.raises(ValueError, match="malformed fault plan"):
+        FaultPlan.from_json('{"seed":0,"warp_speed":9}')
+
+
+def test_parse_plan_memoizes():
+    text = FaultPlan.uniform(seed=42, drop_rate=0.1).canonical()
+    assert parse_plan(text) is parse_plan(text)
+    with pytest.raises(ValueError, match="empty"):
+        parse_plan("")
+
+
+# ----------------------------------------------------------------------
+# message_rng keying
+# ----------------------------------------------------------------------
+def test_message_rng_deterministic_per_key():
+    a = [message_rng(5, 17).random() for _ in range(4)]
+    b = [message_rng(5, 17).random() for _ in range(4)]
+    assert a == b
+
+
+def test_message_rng_distinct_across_keys():
+    assert message_rng(5, 17).random() != message_rng(5, 18).random()
+    assert message_rng(5, 17).random() != message_rng(6, 17).random()
+
+
+def test_message_rng_independent_of_draw_counts():
+    # Message i's fate does not depend on how many draws message i-1
+    # consumed: each id has a private generator.
+    first = message_rng(0, 1).random()
+    rng0 = message_rng(0, 0)
+    for _ in range(1000):
+        rng0.random()
+    assert message_rng(0, 1).random() == first
