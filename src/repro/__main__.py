@@ -5,6 +5,7 @@ Dispatches to the subsystem CLIs::
     python -m repro bench table1 --jobs 4      # == python -m repro.bench
     python -m repro trace Jacobi 1Kx1K ...     # == python -m repro.trace
     python -m repro faults --chaos-sweep       # == python -m repro.faults
+    python -m repro analyze --lint             # == python -m repro.analyze
 
 ``python -m repro`` alone (or ``--help``) lists the subcommands.
 Everything after the subcommand is handed to that CLI verbatim, so each
@@ -35,6 +36,12 @@ def _faults(argv: List[str]) -> int:
     return main(argv)
 
 
+def _analyze(argv: List[str]) -> int:
+    from repro.analyze.cli import main
+
+    return main(argv)
+
+
 #: Subcommand -> (runner, one-line description).
 SUBCOMMANDS: Dict[str, tuple] = {
     "bench": (_bench, "regenerate the paper's tables and figures; "
@@ -43,6 +50,8 @@ SUBCOMMANDS: Dict[str, tuple] = {
                       "happens-before race detector"),
     "faults": (_faults, "fault-injection lab: faulty runs and the "
                         "chaos-sweep invariant gate"),
+    "analyze": (_analyze, "determinism lint and static access-pattern "
+                          "analysis with dynamic crosscheck"),
 }
 
 

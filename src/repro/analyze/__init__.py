@@ -1,0 +1,31 @@
+"""repro.analyze -- static analysis for the reproduction.
+
+Two pillars:
+
+* the **determinism linter** (:mod:`repro.analyze.detlint`): an
+  AST-based pass over simulation-ordered code that flags nondeterminism
+  hazards -- unsorted set iteration, wall-clock reads, unseeded global
+  RNG use, ``id()``/``hash()``-order dependence, and float accumulation
+  into the integer counters behind the golden regression gate.  Every
+  subsystem in this repository (trace, bench cache, golden gate, chaos
+  sweep) leans on bit-reproducibility; the linter turns that contract
+  from convention into a CI gate;
+
+* the **static access-pattern analyzer** (:mod:`repro.analyze.access`,
+  :mod:`repro.analyze.predict`): abstract interpretation of each
+  application's *declared* shared-array accesses, computing per-phase
+  per-processor page write sets and predicting the write-write
+  false-sharing pages -- and a useless-data lower bound -- at 4/8/16 KB
+  consistency units, before a single simulated cycle runs.
+  :mod:`repro.analyze.crosscheck` closes the loop by confirming every
+  predicted page against the dynamic trace attribution of a real run.
+
+CLI: ``python -m repro.analyze --lint | --predict <app> | --crosscheck``
+(also reachable as ``python -m repro analyze ...``).
+"""
+
+from repro.analyze.detlint import lint_paths
+from repro.analyze.predict import predict
+from repro.analyze.report import Finding
+
+__all__ = ["Finding", "lint_paths", "predict"]

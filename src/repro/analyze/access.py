@@ -1,0 +1,235 @@
+"""Structured access-pattern declarations.
+
+The second pillar of :mod:`repro.analyze`: applications *declare* their
+shared-memory access structure -- which processor reads/writes which
+element ranges of which shared arrays, in which barrier-delimited phase
+-- and the analyzer turns the declaration into page/unit-level
+false-sharing predictions **without running the simulator**
+(:mod:`repro.analyze.predict`) that are then validated against a traced
+run (:mod:`repro.analyze.crosscheck`).
+
+Model
+-----
+* An :class:`AccessPattern` is an ordered list of :class:`Phase` objects.
+  One phase corresponds to one *barrier epoch* of the real program: the
+  accesses declared in a phase all execute between the same pair of
+  consecutive barriers when the application runs.  That correspondence
+  is the soundness contract the cross-checker leans on -- a page
+  predicted write-write shared in a phase really is written by several
+  processors inside a single dynamic epoch.
+* An :class:`Access` is a contiguous word range of the shared heap,
+  tagged with the processor, the operation, and a *certainty*: ``must``
+  accesses always happen (loop bounds depend only on the dataset and
+  processor count), ``may`` accesses are data-dependent (a branch-and-
+  bound expansion, a tree traversal).  Predictions use must-writes only,
+  which keeps them a lower bound: ``predicted`` conflicts are a subset
+  of what the dynamic trace observes, and the dynamic-only remainder is
+  tracked explicitly as analyzer gaps (see the crosscheck ratchet).
+
+Resolving declarations to heap addresses needs the exact allocation
+layout, which is produced by the application's own ``setup()`` run
+against a :class:`LayoutProbe` -- a duck-typed stand-in for
+:class:`repro.core.treadmarks.TreadMarks` that performs real allocations
+on a real :class:`repro.dsm.address_space.SharedHeapLayout` (through the
+same :func:`repro.core.shared.alloc_array` helper the runtime uses) but
+cannot run anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.core.shared import SharedArray, alloc_array
+from repro.dsm.address_space import Allocation, SharedHeapLayout
+from repro.sim.config import SimConfig
+
+if TYPE_CHECKING:
+    from repro.apps.base import Application
+
+READ = "read"
+WRITE = "write"
+
+#: An element index: flat int, or an (i, j, ...) tuple for N-D arrays.
+IndexLike = Union[int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One declared contiguous access to the shared heap."""
+
+    proc: int
+    """The accessing processor."""
+
+    op: str
+    """``"read"`` or ``"write"``."""
+
+    word0: int
+    """First heap word of the range."""
+
+    nwords: int
+    """Range length in 4-byte words (always positive)."""
+
+    must: bool = True
+    """True when the access provably happens on every run (bounds depend
+    only on dataset parameters and the processor count); False for
+    data-dependent (``may``) accesses."""
+
+    @property
+    def word1(self) -> int:
+        """One past the last word of the range."""
+        return self.word0 + self.nwords
+
+
+def _flat(arr: SharedArray, start: IndexLike) -> int:
+    """Flat element index of an int or (i, j, ...) index tuple."""
+    if isinstance(start, tuple):
+        return int(np.ravel_multi_index(start, arr.shape))
+    return int(start)
+
+
+@dataclass
+class Phase:
+    """One barrier epoch's worth of declared accesses."""
+
+    name: str
+    accesses: List[Access] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Declaration helpers (element-level, mirroring SharedArray's API)
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        arr: SharedArray,
+        op: str,
+        proc: int,
+        start: IndexLike,
+        nelems: int,
+        must: bool = True,
+    ) -> None:
+        """Declare ``nelems`` contiguous elements of ``arr`` starting at
+        ``start`` (an int for 1-D arrays or an index tuple)."""
+        if op not in (READ, WRITE):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        if nelems <= 0:
+            raise ValueError(f"nelems must be positive, got {nelems}")
+        flat = _flat(arr, start)
+        if flat + nelems > arr.size:
+            raise IndexError(
+                f"access of {nelems} elements at flat {flat} exceeds "
+                f"{arr.alloc.name!r} size {arr.size}"
+            )
+        self.accesses.append(
+            Access(
+                proc=proc,
+                op=op,
+                word0=arr.word_offset(flat),
+                nwords=nelems * arr.words_per_elem,
+                must=must,
+            )
+        )
+
+    def read(self, arr: SharedArray, proc: int, start: IndexLike,
+             nelems: int, must: bool = True) -> None:
+        self.access(arr, READ, proc, start, nelems, must)
+
+    def write(self, arr: SharedArray, proc: int, start: IndexLike,
+              nelems: int, must: bool = True) -> None:
+        self.access(arr, WRITE, proc, start, nelems, must)
+
+    def read_rows(self, arr: SharedArray, proc: int, i0: int, i1: int,
+                  must: bool = True) -> None:
+        """Rows ``[i0, i1)`` of a 2-D array, as one contiguous access."""
+        self.access(arr, READ, proc, (i0, 0), (i1 - i0) * arr.shape[1], must)
+
+    def write_rows(self, arr: SharedArray, proc: int, i0: int, i1: int,
+                   must: bool = True) -> None:
+        self.access(arr, WRITE, proc, (i0, 0), (i1 - i0) * arr.shape[1], must)
+
+    def read_all(self, arr: SharedArray, proc: int, must: bool = True) -> None:
+        """The whole array (the usual spelling for ``may`` traversals)."""
+        self.access(arr, READ, proc, 0 if len(arr.shape) == 1 else
+                    (0,) * len(arr.shape), arr.size, must)
+
+    def write_all(self, arr: SharedArray, proc: int, must: bool = True) -> None:
+        self.access(arr, WRITE, proc, 0 if len(arr.shape) == 1 else
+                    (0,) * len(arr.shape), arr.size, must)
+
+
+@dataclass
+class AccessPattern:
+    """The full declared pattern of one (application, dataset, nprocs)."""
+
+    app: str
+    dataset: str = ""
+    nprocs: int = 0
+    phases: List[Phase] = field(default_factory=list)
+
+    def phase(self, name: str) -> Phase:
+        """Append and return a new (initially empty) phase."""
+        ph = Phase(name=name)
+        self.phases.append(ph)
+        return ph
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(len(ph.accesses) for ph in self.phases)
+
+
+class LayoutProbe:
+    """Duck-typed ``TreadMarks`` stand-in for ``Application.setup()``.
+
+    Provides exactly the surface setup code touches -- ``config``,
+    ``malloc``, ``array`` -- performing real allocations on a real
+    :class:`SharedHeapLayout` so declared accesses resolve to the same
+    heap addresses the simulator would use, without constructing
+    processors, a network, or a scheduler.
+    """
+
+    def __init__(self, config: SimConfig, heap_bytes: int) -> None:
+        self.config = config
+        self.layout = SharedHeapLayout(
+            heap_bytes, config.page_size, config.unit_bytes
+        )
+
+    def malloc(self, name: str, nbytes: int,
+               page_align: bool = True) -> Allocation:
+        return self.layout.malloc(name, nbytes, page_align=page_align)
+
+    def array(self, name: str, shape: IndexLike, dtype: str = "float32",
+              page_align: bool = True) -> SharedArray:
+        return alloc_array(self.layout, name, shape, dtype, page_align)
+
+
+@dataclass
+class BuiltPattern:
+    """An access pattern resolved against a concrete heap layout."""
+
+    pattern: AccessPattern
+    layout: SharedHeapLayout
+    handles: Dict[str, SharedArray]
+
+
+def build_pattern(
+    app: "Application", dataset: str, nprocs: int = 8
+) -> BuiltPattern:
+    """Run ``app.setup()`` against a layout probe and collect the app's
+    declared access pattern for ``nprocs`` processors.
+
+    ``app`` is an :class:`repro.apps.base.Application` instance whose
+    class overrides :meth:`~repro.apps.base.Application.access_pattern`.
+    """
+    cls = type(app)
+    if not getattr(cls, "declares_access_pattern", lambda: False)():
+        raise NotImplementedError(
+            f"{app.name} does not declare an access pattern"
+        )
+    config = SimConfig(nprocs=nprocs)
+    probe = LayoutProbe(config, app.heap_bytes(dataset))
+    handles = app.setup(probe, dataset)
+    pattern = app.access_pattern(handles, app.params(dataset), nprocs)
+    pattern.dataset = dataset
+    pattern.nprocs = nprocs
+    return BuiltPattern(pattern=pattern, layout=probe.layout, handles=handles)

@@ -1,0 +1,112 @@
+"""Command-line driver for the static-analysis subsystem.
+
+Three modes, one per pillar:
+
+``--lint``
+    Determinism lint over the simulator sources (default roots:
+    ``src/repro``).  Exit 0 iff no active findings and no stale
+    suppressions.  ``--json PATH`` additionally writes the machine
+    report consumed by CI artifacts.
+
+``--predict APP``
+    Static access-pattern analysis for one application: predicted
+    write-write conflict pages at 4 KB plus the useless-data lower
+    bound at each paper unit size.
+
+``--crosscheck``
+    The static-vs-dynamic gate over every application's smallest
+    dataset (or ``--apps A,B``): traced 4 KB runs must observe every
+    predicted page, and dynamic-only pages must stay within the
+    committed ratchet (``--update-ratchet`` re-records it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.analyze.crosscheck import run_crosscheck
+from repro.analyze.detlint import lint_paths, repo_roots
+from repro.analyze.predict import predict
+from repro.bench.golden import SMALL_DATASETS
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    paths = [pathlib.Path(p) for p in args.paths] or repo_roots()
+    report = lint_paths(paths)
+    print(report.render())
+    if args.json:
+        report.write_json(pathlib.Path(args.json))
+        print(f"json report: {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    dataset = args.dataset or SMALL_DATASETS[args.predict]
+    prediction = predict(args.predict, dataset, nprocs=args.nprocs)
+    print(prediction.render())
+    return 0
+
+
+def _cmd_crosscheck(args: argparse.Namespace) -> int:
+    apps = args.apps.split(",") if args.apps else None
+    return run_crosscheck(
+        apps=apps, nprocs=args.nprocs, update_ratchet=args.update_ratchet
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analyze",
+        description="determinism lint and static access-pattern analysis",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--lint", action="store_true",
+        help="run the determinism lint (exit 1 on findings)",
+    )
+    mode.add_argument(
+        "--predict", metavar="APP",
+        help="predict false-sharing pages / useless-data bound for APP",
+    )
+    mode.add_argument(
+        "--crosscheck", action="store_true",
+        help="validate predictions against traced runs (all 8 apps)",
+    )
+    parser.add_argument(
+        "--paths", nargs="*", default=[],
+        help="lint these files/dirs instead of the default src/repro",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="with --lint: also write the JSON report here",
+    )
+    parser.add_argument(
+        "--dataset", default=None,
+        help="with --predict: dataset name (default: smallest paper set)",
+    )
+    parser.add_argument(
+        "--nprocs", type=int, default=8,
+        help="processor count for --predict/--crosscheck (default 8)",
+    )
+    parser.add_argument(
+        "--apps", default=None,
+        help="with --crosscheck: comma-separated subset of app names",
+    )
+    parser.add_argument(
+        "--update-ratchet", action="store_true",
+        help="with --crosscheck: rewrite the analyzer-gap ratchet file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.lint:
+        return _cmd_lint(args)
+    if args.predict:
+        return _cmd_predict(args)
+    return _cmd_crosscheck(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Static-vs-dynamic cross-validation of the access-pattern analyzer.
+
+For each application's smallest paper dataset, run the static predictor
+(:mod:`repro.analyze.predict`) and one traced 4 KB simulation, then
+compare:
+
+* every **predicted** write-write page must be **observed** by
+  :func:`repro.trace.attribution.concurrent_write_pages` -- a predicted
+  page the run never multi-writes means a wrong declaration or a broken
+  analyzer, and fails hard;
+* **observed-but-unpredicted** pages are *analyzer gaps*: dynamic
+  sharing the static declaration cannot see (data-dependent ``may``
+  accesses -- TSP's migratory queue is the designed example).  Gaps are
+  recorded in a committed ratchet file
+  (``benchmarks/analyze/crosscheck_gaps.json``): a run may only ever
+  *shrink* an application's gap set.  A new gap fails the gate until
+  either the declaration is improved or the gap is consciously accepted
+  with ``--update-ratchet`` (and the diff reviewed in the commit).
+
+Pages are keyed as ``allocation:page`` labels, so the ratchet file
+stays reviewable and stable across refactors that do not move the heap
+layout.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analyze.predict import Prediction, predict
+from repro.apps.base import get_app, run_app
+from repro.bench.golden import SMALL_DATASETS
+from repro.bench.harness import config_for
+from repro.dsm.address_space import SharedHeapLayout
+from repro.trace.attribution import concurrent_write_pages
+
+#: The committed analyzer-gap ratchet (repository root relative).
+RATCHET_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "analyze"
+    / "crosscheck_gaps.json"
+)
+
+
+def _labels(pages: Sequence[int], layout: SharedHeapLayout) -> List[str]:
+    out = []
+    for page in pages:
+        alloc = layout.allocation_containing(page * layout.page_size)
+        name = alloc.name if alloc is not None else "?"
+        out.append(f"{name}:{page}")
+    return out
+
+
+@dataclass
+class CrosscheckResult:
+    """Outcome of one application's static-vs-dynamic comparison."""
+
+    app: str
+    dataset: str
+    nprocs: int
+    prediction: Prediction
+    observed: List[str]
+    """``allocation:page`` labels of dynamically multi-written pages."""
+
+    missing: List[str]
+    """Predicted but never observed (hard failure: unsound prediction)."""
+
+    gaps: List[str]
+    """Observed but not predicted (ratcheted analyzer gaps)."""
+
+    @property
+    def key(self) -> str:
+        return f"{self.app}/{self.dataset}/p{self.nprocs}"
+
+    @property
+    def sound(self) -> bool:
+        return not self.missing
+
+    def render(self) -> str:
+        lines = [
+            f"{self.app} {self.dataset} (p{self.nprocs}): "
+            f"{len(self.prediction.conflict_pages)} predicted, "
+            f"{len(self.observed)} observed, "
+            f"{len(self.gaps)} analyzer gap(s)"
+        ]
+        for label in self.missing:
+            lines.append(f"  MISSING (predicted, never observed): {label}")
+        for label in self.gaps:
+            lines.append(f"  gap (dynamic-only): {label}")
+        return "\n".join(lines)
+
+
+def crosscheck_app(
+    app_name: str, dataset: Optional[str] = None, nprocs: int = 8
+) -> CrosscheckResult:
+    """Predict + traced 4 KB run + compare, for one application."""
+    dataset = dataset if dataset is not None else SMALL_DATASETS[app_name]
+    prediction = predict(app_name, dataset, nprocs)
+
+    config = config_for("4K", nprocs=nprocs, trace=True)
+    result = run_app(get_app(app_name), dataset, config)
+    trace = result.trace
+    assert trace is not None, "run was configured with trace=True"
+    observed_pages = concurrent_write_pages(trace)
+
+    predicted = set(prediction.labeled_pages())
+    observed = set(_labels(observed_pages, trace.layout))
+    return CrosscheckResult(
+        app=app_name,
+        dataset=dataset,
+        nprocs=nprocs,
+        prediction=prediction,
+        observed=sorted(observed),
+        missing=sorted(predicted - observed),
+        gaps=sorted(observed - predicted),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ratchet file
+# ----------------------------------------------------------------------
+def load_ratchet(path: pathlib.Path = RATCHET_PATH) -> Dict[str, List[str]]:
+    """cell key -> accepted gap labels (empty when uninitialized)."""
+    if not path.exists():
+        return {}
+    with open(path) as fh:
+        return {k: list(v) for k, v in json.load(fh).items()}
+
+
+def write_ratchet(
+    data: Dict[str, List[str]], path: pathlib.Path = RATCHET_PATH
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(
+            {k: sorted(v) for k, v in sorted(data.items())},
+            fh,
+            indent=1,
+            sort_keys=True,
+        )
+        fh.write("\n")
+
+
+def run_crosscheck(
+    apps: Optional[Sequence[str]] = None,
+    nprocs: int = 8,
+    update_ratchet: bool = False,
+    ratchet_path: pathlib.Path = RATCHET_PATH,
+) -> int:
+    """The full gate: every requested app (default: all 8) must be sound
+    and within its ratcheted gap set.  Returns a process exit code."""
+    names = sorted(SMALL_DATASETS) if apps is None else list(apps)
+    ratchet = load_ratchet(ratchet_path)
+    failures = 0
+    new_ratchet: Dict[str, List[str]] = dict(ratchet)
+
+    for name in names:
+        res = crosscheck_app(name, nprocs=nprocs)
+        print(res.render())
+        accepted = set(ratchet.get(res.key, []))
+        current = set(res.gaps)
+        if not res.sound:
+            print(f"  FAIL: prediction unsound for {res.key}")
+            failures += 1
+        elif res.key not in ratchet and current and not update_ratchet:
+            print(
+                f"  FAIL: no ratchet entry for {res.key}; run with "
+                f"--update-ratchet to record the initial gap set"
+            )
+            failures += 1
+        elif current - accepted:
+            print(
+                f"  FAIL: new analyzer gap(s) beyond the ratchet: "
+                f"{sorted(current - accepted)}"
+            )
+            if not update_ratchet:
+                failures += 1
+        elif accepted - current:
+            print(
+                f"  note: gap set shrank by {len(accepted - current)} "
+                f"page(s); tighten the ratchet with --update-ratchet"
+            )
+        new_ratchet[res.key] = sorted(current)
+
+    if update_ratchet:
+        write_ratchet(new_ratchet, ratchet_path)
+        print(f"ratchet written: {ratchet_path}")
+    print(
+        f"crosscheck: {len(names)} app(s), {failures} failure(s)"
+    )
+    return 1 if failures else 0

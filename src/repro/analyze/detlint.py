@@ -1,0 +1,166 @@
+"""The determinism-lint engine: files in, :class:`LintReport` out.
+
+Suppression contract
+--------------------
+A finding is suppressed by a comment **on the line it points at**::
+
+    for unit in pending:  # detlint: ok(set-iter) -- drained in vc order
+
+Several rules may be named, comma-separated: ``ok(set-iter, id-order)``.
+Suppressions are per-line and per-rule only -- there is deliberately no
+file- or block-level form, so every accepted hazard is visible exactly
+where it lives.  A suppression whose rule did not fire on that line is
+itself reported (``unused-suppression``) and fails the gate: stale
+``ok(...)`` comments would otherwise silently swallow the next real
+finding on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import pathlib
+import re
+import tokenize
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.analyze.report import Finding, LintReport, merge_reports
+from repro.analyze.rules import RULES, SUPPRESSIBLE
+
+#: The suppression marker (rule names comma-separated) in a comment.
+_SUPPRESS_RE = re.compile(r"#\s*detlint:\s*ok\(([^)]*)\)")
+
+PathLike = Union[str, pathlib.Path]
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """line number -> rule names accepted on that line.
+
+    Only real comment tokens count (a ``detlint: ok(...)`` mentioned in
+    a docstring is documentation, not a suppression); the
+    unused-suppression check keeps every accepted one honest.
+    """
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                names = {
+                    part.strip()
+                    for part in m.group(1).split(",")
+                    if part.strip()
+                }
+                if names:
+                    out.setdefault(tok.start[0], set()).update(names)
+    except (tokenize.TokenError, SyntaxError):
+        pass  # the ast.parse below reports the real problem
+    return out
+
+
+def lint_source(source: str, path: str) -> LintReport:
+    """Lint one module's source text."""
+    suppressions = parse_suppressions(source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            rule="parse-error",
+            message=f"file does not parse: {exc.msg}",
+        )
+        return LintReport(
+            findings=[finding], files_checked=1, unused_suppressions=[]
+        )
+
+    findings: List[Finding] = []
+    used: Dict[int, Set[str]] = {}
+    for rule in RULES:
+        for line, col, message in rule.check(tree):
+            suppressed = rule.name in suppressions.get(line, set())
+            if suppressed:
+                used.setdefault(line, set()).add(rule.name)
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule=rule.name,
+                    message=message,
+                    suppressed=suppressed,
+                )
+            )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+
+    unused: List[Finding] = []
+    for line, names in sorted(suppressions.items()):
+        for name in sorted(names):
+            if name not in SUPPRESSIBLE:
+                unused.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=0,
+                        rule="unused-suppression",
+                        message=f"unknown rule {name!r} in suppression",
+                    )
+                )
+            elif name not in used.get(line, set()):
+                unused.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=0,
+                        rule="unused-suppression",
+                        message=(
+                            f"suppression ok({name}) matches no finding on "
+                            f"this line; remove it"
+                        ),
+                    )
+                )
+    return LintReport(
+        findings=findings, files_checked=1, unused_suppressions=unused
+    )
+
+
+def lint_file(path: PathLike) -> LintReport:
+    p = pathlib.Path(path)
+    return lint_source(p.read_text(), str(p))
+
+
+def iter_python_files(root: PathLike) -> List[pathlib.Path]:
+    """All ``*.py`` under ``root`` (or ``root`` itself), sorted."""
+    p = pathlib.Path(root)
+    if p.is_file():
+        return [p]
+    return sorted(f for f in p.rglob("*.py") if "__pycache__" not in f.parts)
+
+
+def lint_paths(paths: Iterable[PathLike]) -> LintReport:
+    """Lint every Python file under the given files/directories."""
+    files: List[pathlib.Path] = []
+    seen: Set[pathlib.Path] = set()
+    for path in paths:
+        for f in iter_python_files(path):
+            if f not in seen:
+                seen.add(f)
+                files.append(f)
+    return merge_reports([lint_file(f) for f in files])
+
+
+#: The tree the CI gate lints (the whole package: simulation-ordered
+#: code plus the harnesses whose output feeds cache keys and baselines).
+DEFAULT_ROOTS: Tuple[str, ...] = ("src/repro",)
+
+
+def repo_roots(base: Optional[PathLike] = None) -> List[pathlib.Path]:
+    """The default lint roots resolved against ``base`` (default: the
+    repository root containing this package, so the CLI works from any
+    working directory)."""
+    if base is None:
+        base = pathlib.Path(__file__).resolve().parents[3]
+    return [pathlib.Path(base) / root for root in DEFAULT_ROOTS]

@@ -1,0 +1,284 @@
+"""Static false-sharing and useless-data prediction.
+
+Consumes an application's declared :class:`repro.analyze.access.AccessPattern`
+and computes, without running the simulator:
+
+* **write-write false-sharing pages**: 4 KB hardware pages that at least
+  two processors *must*-write inside one phase.  Because phases mirror
+  barrier epochs, every predicted page is multi-written within a single
+  dynamic epoch -- the property :mod:`repro.analyze.crosscheck` verifies
+  against a traced run;
+* per consistency-unit size (4 / 8 / 16 KB): the conflicting units and a
+  **lower bound on useless data**.
+
+Useless-data lower bound
+------------------------
+For processor ``p`` and unit ``u``, every word that (a) some other
+processor must-writes in a phase before ``p``'s last must-access of
+``u`` and (b) ``p`` never reads, will be shipped to ``p`` inside a diff
+at least once and never consumed -- useless data by the paper's
+definition.  The bound sums ``|W_other(p, u) - R_p(u)|`` over all
+``(p, u)`` pairs, where ``W_other`` is the union of other processors'
+must-written words (union, not sum: repeated writes re-use one diff
+word) and ``R_p`` is *all* of ``p``'s declared reads of ``u``, ``may``
+reads included and irrespective of ordering.  Both choices only shrink
+the count, and may-writes are ignored entirely, so the result is a true
+lower bound on the dynamic useless-word counter for static units.
+(Dynamic aggregation regroups pages adaptively and is out of scope.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analyze.access import BuiltPattern, build_pattern
+from repro.apps.base import get_app
+from repro.dsm.diff import WORD
+
+#: Static consistency-unit sizes analyzed (the paper's 4 / 8 / 16 KB).
+UNIT_SIZES: Tuple[int, ...] = (4096, 8192, 16384)
+
+Interval = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Interval-set arithmetic (half-open word ranges)
+# ----------------------------------------------------------------------
+def merge(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sorted, disjoint, coalesced form of an interval collection."""
+    out: List[Interval] = []
+    for a, b in sorted(intervals):
+        if b <= a:
+            continue
+        if out and a <= out[-1][1]:
+            if b > out[-1][1]:
+                out[-1] = (out[-1][0], b)
+        else:
+            out.append((a, b))
+    return out
+
+
+def total(merged: Sequence[Interval]) -> int:
+    """Total word count of a merged interval set."""
+    return sum(b - a for a, b in merged)
+
+
+def subtract(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Set difference ``a - b`` of two merged interval sets."""
+    out: List[Interval] = []
+    bi = 0
+    for lo, hi in a:
+        cur = lo
+        while cur < hi:
+            while bi < len(b) and b[bi][1] <= cur:
+                bi += 1
+            if bi >= len(b) or b[bi][0] >= hi:
+                out.append((cur, hi))
+                break
+            blo, bhi = b[bi]
+            if blo > cur:
+                out.append((cur, blo))
+            cur = max(cur, bhi)
+            if bhi >= hi:
+                break
+    return merge(out)
+
+
+def clip(intervals: Sequence[Interval], lo: int, hi: int) -> List[Interval]:
+    """The parts of a merged interval set inside ``[lo, hi)``."""
+    return [
+        (max(a, lo), min(b, hi))
+        for a, b in intervals
+        if a < hi and b > lo
+    ]
+
+
+# ----------------------------------------------------------------------
+# Prediction results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnitReport:
+    """Per-consistency-unit-size prediction."""
+
+    unit_bytes: int
+    conflict_units: Tuple[int, ...]
+    """Units must-written by >= 2 processors inside one phase."""
+
+    useless_words_lower: int
+    """Lower bound on useless words shipped over the whole run."""
+
+
+@dataclass
+class Prediction:
+    """Everything the static analyzer predicts for one cell."""
+
+    app: str
+    dataset: str
+    nprocs: int
+    page_size: int
+    n_phases: int
+    n_accesses: int
+
+    conflict_pages: Tuple[int, ...] = ()
+    """4 KB pages with predicted write-write false sharing."""
+
+    page_labels: Dict[int, str] = field(default_factory=dict)
+    """page -> covering allocation name (diagnostics)."""
+
+    units: Dict[int, UnitReport] = field(default_factory=dict)
+    """unit_bytes -> per-unit-size report."""
+
+    def labeled_pages(self) -> List[str]:
+        """``allocation:page`` labels of the predicted pages."""
+        return [
+            f"{self.page_labels.get(p, '?')}:{p}" for p in self.conflict_pages
+        ]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.app} {self.dataset} on {self.nprocs} procs: "
+            f"{self.n_phases} phases, {self.n_accesses} declared accesses",
+            f"predicted write-write false-sharing pages "
+            f"({len(self.conflict_pages)}):",
+        ]
+        if self.conflict_pages:
+            for label in self.labeled_pages():
+                lines.append(f"  {label}")
+        else:
+            lines.append("  (none: every page is single-writer per epoch)")
+        for ub in sorted(self.units):
+            r = self.units[ub]
+            lines.append(
+                f"[{ub // 1024}K] {len(r.conflict_units)} conflicting "
+                f"unit(s); useless data >= "
+                f"{r.useless_words_lower * WORD / 1024:.1f} KB"
+            )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "app": self.app,
+            "dataset": self.dataset,
+            "nprocs": self.nprocs,
+            "page_size": self.page_size,
+            "n_phases": self.n_phases,
+            "n_accesses": self.n_accesses,
+            "conflict_pages": list(self.conflict_pages),
+            "labeled_pages": self.labeled_pages(),
+            "units": {
+                str(ub): {
+                    "conflict_units": list(r.conflict_units),
+                    "useless_words_lower": r.useless_words_lower,
+                }
+                for ub, r in sorted(self.units.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+def _conflict_pages(built: BuiltPattern, words_per_page: int) -> List[int]:
+    """Pages must-written by >= 2 distinct procs inside one phase."""
+    conflicts: set = set()
+    for ph in built.pattern.phases:
+        writers: Dict[int, set] = {}
+        for acc in ph.accesses:
+            if acc.op != "write" or not acc.must:
+                continue
+            first = acc.word0 // words_per_page
+            last = (acc.word1 - 1) // words_per_page
+            for page in range(first, last + 1):
+                writers.setdefault(page, set()).add(acc.proc)
+        conflicts.update(p for p, procs in writers.items() if len(procs) >= 2)
+    return sorted(conflicts)
+
+
+def _useless_lower_bound(built: BuiltPattern, words_per_unit: int) -> int:
+    """The documented lower bound on useless words for one unit size."""
+    nprocs = built.pattern.nprocs
+
+    # last phase index of any must access, per (proc, unit)
+    last_access: Dict[Tuple[int, int], int] = {}
+    # phase -> unit -> proc -> write intervals (must only)
+    unit_writes: Dict[int, Dict[int, Dict[int, List[Interval]]]] = {}
+    # (proc, unit) -> read intervals (must and may)
+    unit_reads: Dict[Tuple[int, int], List[Interval]] = {}
+
+    for idx, ph in enumerate(built.pattern.phases):
+        per_unit = unit_writes.setdefault(idx, {})
+        for acc in ph.accesses:
+            first = acc.word0 // words_per_unit
+            last = (acc.word1 - 1) // words_per_unit
+            for unit in range(first, last + 1):
+                u0 = unit * words_per_unit
+                u1 = u0 + words_per_unit
+                iv = (max(acc.word0, u0), min(acc.word1, u1))
+                if acc.must:
+                    last_access[(acc.proc, unit)] = idx
+                if acc.op == "write" and acc.must:
+                    per_unit.setdefault(unit, {}).setdefault(
+                        acc.proc, []
+                    ).append(iv)
+                if acc.op == "read":
+                    unit_reads.setdefault((acc.proc, unit), []).append(iv)
+
+    useless = 0
+    for (proc, unit), last_idx in sorted(last_access.items()):
+        others: List[Interval] = []
+        for idx in range(last_idx):
+            per_proc = unit_writes.get(idx, {}).get(unit)
+            if not per_proc:
+                continue
+            for q in range(nprocs):
+                if q != proc and q in per_proc:
+                    others.extend(per_proc[q])
+        if not others:
+            continue
+        fetched = merge(others)
+        reads = merge(unit_reads.get((proc, unit), []))
+        useless += total(subtract(fetched, reads))
+    return useless
+
+
+def predict_pattern(built: BuiltPattern,
+                    unit_sizes: Sequence[int] = UNIT_SIZES) -> Prediction:
+    """Run the full static analysis over a resolved pattern."""
+    layout = built.layout
+    pages = _conflict_pages(built, layout.words_per_page)
+    labels: Dict[int, str] = {}
+    for page in pages:
+        alloc = layout.allocation_containing(page * layout.page_size)
+        labels[page] = alloc.name if alloc is not None else "?"
+
+    units: Dict[int, UnitReport] = {}
+    for ub in unit_sizes:
+        wpu = ub // WORD
+        conflict_units = _conflict_pages(built, wpu)  # same algorithm,
+        # coarser granularity: a "page" of wpu words is one unit
+        units[ub] = UnitReport(
+            unit_bytes=ub,
+            conflict_units=tuple(conflict_units),
+            useless_words_lower=_useless_lower_bound(built, wpu),
+        )
+
+    return Prediction(
+        app=built.pattern.app,
+        dataset=built.pattern.dataset,
+        nprocs=built.pattern.nprocs,
+        page_size=layout.page_size,
+        n_phases=len(built.pattern.phases),
+        n_accesses=built.pattern.n_accesses,
+        conflict_pages=tuple(pages),
+        page_labels=labels,
+        units=units,
+    )
+
+
+def predict(app_name: str, dataset: str, nprocs: int = 8,
+            unit_sizes: Sequence[int] = UNIT_SIZES) -> Prediction:
+    """Static analysis of one (application, dataset, nprocs) cell."""
+    app = get_app(app_name)
+    built = build_pattern(app, dataset, nprocs)
+    return predict_pattern(built, unit_sizes)

@@ -1,0 +1,112 @@
+"""Lint findings and their machine- and human-readable renderings.
+
+A :class:`Finding` pins one hazard to a (file, line) pair.  Findings
+carry their suppression state rather than being dropped when suppressed,
+so the JSON report is a complete audit trail: a reviewer can see every
+``# detlint: ok(...)`` that is actually load-bearing (and
+:func:`unused_suppressions` reports the ones that are not).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One hazard flagged by one rule at one source location."""
+
+    path: str
+    """File the finding is in (as given to the linter)."""
+
+    line: int
+    """1-indexed source line."""
+
+    col: int
+    """0-indexed column of the flagged expression."""
+
+    rule: str
+    """Rule id (kebab-case, e.g. ``set-iter``)."""
+
+    message: str
+    """Human-readable statement of the hazard."""
+
+    suppressed: bool = False
+    """True when the line carries ``# detlint: ok(<rule>)``."""
+
+    def render(self) -> str:
+        tag = "  [suppressed]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}{tag}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    findings: List[Finding]
+    """All findings, suppressed ones included, in (path, line) order."""
+
+    files_checked: int
+
+    unused_suppressions: List[Finding]
+    """Suppression comments whose rule never fired on their line,
+    reported as findings of the ``unused-suppression`` rule (a stale
+    ``ok(...)`` hides nothing today but will silently hide a future
+    regression, so it must be removed)."""
+
+    @property
+    def active(self) -> List[Finding]:
+        """The findings that gate CI: unsuppressed hazards plus any
+        unused suppressions."""
+        live = [f for f in self.findings if not f.suppressed]
+        return live + list(self.unused_suppressions)
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def render(self) -> str:
+        lines = []
+        for f in self.findings:
+            lines.append(f.render())
+        for f in self.unused_suppressions:
+            lines.append(f.render())
+        suppressed = sum(1 for f in self.findings if f.suppressed)
+        live = len(self.findings) - suppressed
+        lines.append(
+            f"detlint: {self.files_checked} files, {live} finding(s), "
+            f"{suppressed} suppressed, "
+            f"{len(self.unused_suppressions)} stale suppression(s)"
+            f"{' / OK' if self.ok else ''}"
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+            "findings": [asdict(f) for f in self.findings],
+            "unused_suppressions": [asdict(f) for f in self.unused_suppressions],
+        }
+
+    def write_json(self, path: Union[str, pathlib.Path]) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+
+def merge_reports(reports: Sequence[LintReport]) -> LintReport:
+    """Fold per-file reports into one, preserving file order."""
+    findings: List[Finding] = []
+    unused: List[Finding] = []
+    for r in reports:
+        findings.extend(r.findings)
+        unused.extend(r.unused_suppressions)
+    return LintReport(
+        findings=findings,
+        files_checked=sum(r.files_checked for r in reports),
+        unused_suppressions=unused,
+    )

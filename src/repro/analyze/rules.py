@@ -1,0 +1,496 @@
+"""Determinism-lint rules.
+
+Every rule is a pure function from a parsed module to hazard hits.  The
+rules are deliberately *syntactic*: they flag the textual patterns that
+have historically broken bit-reproducibility in this codebase (unordered
+iteration, wall clocks, process-global RNGs, identity-ordered
+comparisons, float drift into integer counters), and rely on the
+per-line ``# detlint: ok(<rule>)`` suppression for the occasions where
+the pattern is deliberate.  A suppression is part of the diff and hence
+of review; an unflagged hazard is not -- so the rules prefer the
+occasional suppressible false positive over silence.
+
+Rule ids (kebab-case, used in suppression comments):
+
+``set-iter``
+    Iteration over an expression statically known to be a ``set`` /
+    ``frozenset`` (literal, comprehension, constructor call, set
+    operator, set-method call, or a local name assigned one), or over a
+    ``dict`` key view, in an ordering-sensitive context (``for``,
+    comprehension, ``list``/``tuple``/``iter``/``enumerate``/
+    ``reversed``/``join``) without a ``sorted(...)`` wrapper.
+
+``wall-clock``
+    A call that reads host wall-clock or CPU time (``time.time``,
+    ``time.monotonic``, ``time.perf_counter``, ``datetime.now``, ...).
+    Simulated time comes from :mod:`repro.sim.clock`; host time leaking
+    into results breaks run-to-run identity.
+
+``global-random``
+    Draws from process-global or OS entropy: module-level ``random.*``
+    (seeded instances via ``random.Random(seed)`` are fine),
+    ``np.random.*`` legacy functions, ``np.random.default_rng()``
+    *without* a seed argument, ``os.urandom``, ``uuid.uuid1``/``uuid4``,
+    and anything from ``secrets``.
+
+``id-order``
+    Ordering decisions keyed on object identity or hash: ``key=id``,
+    ``key=hash`` (directly or via a trivial lambda) and relational
+    comparisons between ``id(...)`` calls.  CPython ids are allocation
+    addresses; hash of str/bytes is salted per process.
+
+``golden-float``
+    Float creep into the integral communication counters compared
+    exactly by the golden gate: ``+=``/``=`` on an attribute named like
+    one of the integer :data:`repro.bench.golden.GOLDEN_FIELDS` whose
+    right-hand side contains a float literal, a true division, or a
+    ``float(...)`` call.
+
+``parse-error``
+    The file does not parse; emitted by the engine, never suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Set, Tuple
+
+#: One hazard hit: (line, col, message).
+Hit = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named determinism-lint rule."""
+
+    name: str
+    description: str
+    check: Callable[[ast.Module], Iterable[Hit]]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def dotted_chain(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")``; empty when the base is not a
+    plain name (calls, subscripts, ...)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _iter_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """(scope node, its immediate body) for the module and every
+    function/method, outermost first."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes
+    (each function is scanned as its own scope by the caller)."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+#: set-returning methods of set objects.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: set-typed binary operators (when either operand is a known set).
+_SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """True when ``node`` is statically known to produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and _is_set_expr(node.func.value, set_names)
+        ):
+            return True
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _collect_set_names(body: List[ast.stmt]) -> Set[str]:
+    """Names assigned a known-set expression anywhere in this scope's
+    immediate statements (nested blocks included, nested functions not).
+    A later non-set reassignment removes the name; the approximation is
+    per-scope, not flow-sensitive."""
+    names: Set[str] = set()
+
+    class Collector(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass  # inner scope
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            pass
+
+        def visit_Assign(self, node: ast.Assign) -> None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if _is_set_expr(node.value, names):
+                        names.add(target.id)
+                    else:
+                        names.discard(target.id)
+            self.generic_visit(node)
+
+        def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                if _is_set_expr(node.value, names):
+                    names.add(node.target.id)
+                else:
+                    names.discard(node.target.id)
+            self.generic_visit(node)
+
+    collector = Collector()
+    for stmt in body:
+        collector.visit(stmt)
+    return names
+
+
+# ----------------------------------------------------------------------
+# set-iter
+# ----------------------------------------------------------------------
+#: Builtins whose output order follows their argument's iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "reversed"}
+)
+
+
+def check_set_iter(tree: ast.Module) -> Iterator[Hit]:
+    for scope, body in _iter_scopes(tree):
+        set_names = _collect_set_names(body)
+
+        def flag(node: ast.expr, what: str) -> Iterator[Hit]:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"iteration over {what} has no deterministic order; "
+                f"wrap it in sorted(...)",
+            )
+
+        def hazards(iter_expr: ast.expr) -> Iterator[Hit]:
+            if _is_set_expr(iter_expr, set_names):
+                yield from flag(iter_expr, "a set")
+            elif _is_keys_call(iter_expr):
+                yield from flag(
+                    iter_expr,
+                    "a dict key view (ordering is a property of "
+                    "insertion history, not of the keys)",
+                )
+
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # its body is scanned as its own scope
+            for sub in _scope_walk(node):
+                if isinstance(sub, ast.For):
+                    yield from hazards(sub.iter)
+                elif isinstance(
+                    sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    for gen in sub.generators:
+                        yield from hazards(gen.iter)
+                elif isinstance(sub, ast.Call):
+                    callee = sub.func
+                    is_join = (
+                        isinstance(callee, ast.Attribute) and callee.attr == "join"
+                    )
+                    is_seq = (
+                        isinstance(callee, ast.Name)
+                        and callee.id in _ORDER_SENSITIVE_CALLS
+                    )
+                    if (is_join or is_seq) and sub.args:
+                        arg = sub.args[0]
+                        if _is_set_expr(arg, set_names):
+                            yield from flag(arg, "a set")
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+#: (penultimate, last) dotted-name tails of wall-clock reads.
+_CLOCK_TAILS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("time", "process_time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+
+def check_wall_clock(tree: ast.Module) -> Iterator[Hit]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if len(chain) >= 2 and chain[-2:] in _CLOCK_TAILS:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"wall-clock read {'.'.join(chain)}() in simulation-ordered "
+                f"code; use the simulated clock (repro.sim.clock)",
+            )
+
+
+# ----------------------------------------------------------------------
+# global-random
+# ----------------------------------------------------------------------
+def check_global_random(tree: ast.Module) -> Iterator[Hit]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if not chain:
+            continue
+        dotted = ".".join(chain)
+        # module-level `random.*` (a seeded random.Random(...) is fine).
+        if (
+            len(chain) == 2
+            and chain[0] == "random"
+            and chain[1] not in ("Random",)
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{dotted}() draws from the process-global RNG; use a "
+                f"seeded generator (random.Random(seed), cf. "
+                f"repro.faults.plan.message_rng)",
+            )
+        # numpy legacy global RNG, and unseeded default_rng().
+        elif chain[0] in ("np", "numpy") and len(chain) >= 2 and chain[1] == "random":
+            tail = chain[-1]
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "default_rng() without a seed is entropy-seeded; "
+                        "pass an explicit seed",
+                    )
+            elif tail != "Generator":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"{dotted}() uses numpy's process-global RNG; use "
+                    f"np.random.default_rng(seed)",
+                )
+        elif dotted in ("os.urandom",) or chain[0] == "secrets":
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{dotted}() reads OS entropy; simulation-ordered code "
+                f"must be seeded",
+            )
+        elif len(chain) == 2 and chain[0] == "uuid" and chain[1] in (
+            "uuid1",
+            "uuid4",
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{dotted}() is host/entropy dependent; derive ids from "
+                f"run identity instead (cf. repro.bench.cache.cell_key)",
+            )
+
+
+# ----------------------------------------------------------------------
+# id-order
+# ----------------------------------------------------------------------
+def _is_identity_key(node: ast.expr) -> bool:
+    """``id`` / ``hash``, bare or behind a trivial lambda."""
+    if isinstance(node, ast.Name) and node.id in ("id", "hash"):
+        return True
+    if isinstance(node, ast.Lambda):
+        body = node.body
+        return (
+            isinstance(body, ast.Call)
+            and isinstance(body.func, ast.Name)
+            and body.func.id in ("id", "hash")
+        )
+    return False
+
+
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _is_id_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("id", "hash")
+    )
+
+
+def check_id_order(tree: ast.Module) -> Iterator[Hit]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "key" and _is_identity_key(kw.value):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "ordering keyed on object identity/hash varies "
+                        "across processes; key on a stable field instead",
+                    )
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            if (
+                any(isinstance(op, _ORDER_OPS) for op in node.ops)
+                and sum(_is_id_call(o) for o in operands) >= 2
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "relational comparison of id()/hash() values is "
+                    "address/salt dependent",
+                )
+
+
+# ----------------------------------------------------------------------
+# golden-float
+# ----------------------------------------------------------------------
+#: The integer members of :data:`repro.bench.golden.GOLDEN_FIELDS`.
+#: Kept as a literal so this module stays import-light; the tie to the
+#: real tuple is asserted by ``tests/analyze/test_rules.py``.
+GOLDEN_INT_FIELDS = frozenset(
+    {
+        "useful_messages",
+        "useless_messages",
+        "sync_messages",
+        "useful_bytes",
+        "useless_bytes",
+        "piggybacked_useless_bytes",
+        "sync_bytes",
+        "faults",
+        "monitoring_faults",
+        "fault_messages",
+        "fault_bytes",
+        "retransmissions",
+        "duplicate_deliveries",
+        "timeout_stalls",
+    }
+)
+
+
+def _has_float_syntax(node: ast.expr) -> bool:
+    """RHS contains a float literal, a true division, or ``float(...)``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "float"
+        ):
+            return True
+    return False
+
+
+def check_golden_float(tree: ast.Module) -> Iterator[Hit]:
+    for node in ast.walk(tree):
+        target: ast.expr
+        value: ast.expr
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        else:
+            continue
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in GOLDEN_INT_FIELDS
+            and _has_float_syntax(value)
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"float arithmetic accumulating into {target.attr!r}, an "
+                f"exactly-compared golden counter; keep it integral",
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "set-iter",
+        "unordered set / dict-key-view iteration without sorted()",
+        check_set_iter,
+    ),
+    Rule("wall-clock", "host wall-clock or CPU-time read", check_wall_clock),
+    Rule(
+        "global-random",
+        "process-global or OS-entropy randomness",
+        check_global_random,
+    ),
+    Rule(
+        "id-order",
+        "ordering keyed on object identity or hash",
+        check_id_order,
+    ),
+    Rule(
+        "golden-float",
+        "float accumulation into an integral golden counter",
+        check_golden_float,
+    ),
+)
+
+RULES_BY_NAME: Dict[str, Rule] = {r.name: r for r in RULES}
+
+#: Rule ids that may appear in a suppression comment (parse-error and
+#: unused-suppression are engine-emitted and not suppressible).
+SUPPRESSIBLE = frozenset(RULES_BY_NAME)

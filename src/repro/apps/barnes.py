@@ -353,6 +353,48 @@ class Barnes(Application):
         return self.collect_checksum(proc, handles, local)
 
     # ------------------------------------------------------------------
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: master tree build, read-only force phase,
+        fine-grained owner updates.  The cell writes are ``may`` (the
+        tree size is data-dependent); the per-body 9-word updates are
+        ``must`` and produce the predicted boundary-page conflicts."""
+        from repro.analyze.access import AccessPattern
+
+        bodies, cells, meta = (
+            handles["bodies"], handles["cells"], handles["meta"],
+        )
+        n = params["n"]
+        ranges = [self.block_range(n, nprocs, p) for p in range(nprocs)]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        for p, (lo, hi) in enumerate(ranges):
+            if hi > lo:
+                ph.write_rows(bodies, p, lo, hi)
+        for it in range(params["iters"]):
+            ph = pat.phase(f"iter{it}:build")
+            for j in range(n):
+                ph.read(bodies, 0, (j, 0), 10)
+            ph.write_all(cells, 0, must=False)
+            ph.write(meta, 0, 0, 1)
+            ph = pat.phase(f"iter{it}:force")
+            for p, (lo, hi) in enumerate(ranges):
+                ph.read_all(cells, p, must=False)
+                ph.read_all(bodies, p, must=False)
+                for i in range(lo, hi):
+                    ph.read(bodies, p, (i, 0), 10)
+            ph = pat.phase(f"iter{it}:update")
+            for p, (lo, hi) in enumerate(ranges):
+                for i in range(lo, hi):
+                    ph.read(bodies, p, (i, 0), BODY_REC)
+                    ph.write(bodies, p, (i, 0), 9)
+        ph = pat.phase("checksum")
+        for p, (lo, hi) in enumerate(ranges):
+            for i in range(lo, hi):
+                ph.read(bodies, p, (i, 0), 9)
+        return pat
+
+    # ------------------------------------------------------------------
     def reference(self, dataset: str) -> float:
         p = self.params(dataset)
         n, iters = p["n"], p["iters"]

@@ -57,6 +57,27 @@ class Application:
         """Sequential pure-numpy oracle for the checksum."""
         raise NotImplementedError
 
+    def access_pattern(self, handles: dict, params: dict, nprocs: int):
+        """Declare the application's shared-access structure for the
+        static analyzer (:mod:`repro.analyze`): an
+        :class:`repro.analyze.access.AccessPattern` whose phases mirror
+        the worker's barrier epochs.  ``handles`` comes from a
+        :meth:`setup` run against a layout probe, so the declared
+        element ranges resolve to real heap addresses.
+
+        The contract (checked end-to-end by ``--crosscheck``): every
+        ``must`` access happens on every run, inside the barrier epoch
+        matching its phase.  Data-dependent accesses are declared with
+        ``must=False`` and never contribute to predictions."""
+        raise NotImplementedError(
+            f"{self.name} declares no access pattern"
+        )
+
+    @classmethod
+    def declares_access_pattern(cls) -> bool:
+        """True when the class overrides :meth:`access_pattern`."""
+        return cls.access_pattern is not Application.access_pattern
+
     # ------------------------------------------------------------------
     def params(self, dataset: str) -> dict:
         """Parameter dict of a dataset label."""

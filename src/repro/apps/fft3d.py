@@ -132,6 +132,40 @@ class FFT3D(Application):
 
         return self.collect_checksum(proc, handles, local_abs)
 
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: page-aligned slabs (single-writer) plus the
+        one-page check structure concurrently written by all processors
+        in the transpose epoch -- the predicted conflict page."""
+        from repro.analyze.access import AccessPattern
+
+        a, b, check = handles["a"], handles["b"], handles["check"]
+        n1, n2, n3 = params["n1"], params["n2"], params["n3"]
+        r1 = [self.block_range(n1, nprocs, p) for p in range(nprocs)]
+        r2 = [self.block_range(n2, nprocs, p) for p in range(nprocs)]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        for p, (lo1, hi1) in enumerate(r1):
+            ph.write(a, p, (lo1, 0, 0), (hi1 - lo1) * n2 * n3)
+        for it in range(params["iters"]):
+            ph = pat.phase(f"iter{it}:local-fft")
+            for p, (lo1, hi1) in enumerate(r1):
+                nelems = (hi1 - lo1) * n2 * n3
+                ph.read(a, p, (lo1, 0, 0), nelems)
+                ph.write(a, p, (lo1, 0, 0), nelems)
+            ph = pat.phase(f"iter{it}:transpose")
+            for p in range(nprocs):
+                lo2, hi2 = r2[p]
+                for q in range(nprocs):
+                    for i in range(*r1[q]):
+                        ph.read(a, p, (i, lo2, 0), (hi2 - lo2) * n3)
+                ph.write(b, p, (lo2, 0, 0), (hi2 - lo2) * n1 * n3)
+                ph.write(check, p, (p, 0), 2)
+            ph = pat.phase(f"iter{it}:check")
+            for q in range(nprocs):
+                ph.read(check, 0, (q, 0), 1)
+        return pat
+
     def reference(self, dataset: str) -> float:
         p = self.params(dataset)
         n1, n2, n3 = p["n1"], p["n2"], p["n3"]

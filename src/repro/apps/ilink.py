@@ -142,6 +142,41 @@ class Ilink(Application):
         return digests["value"]
 
     # ------------------------------------------------------------------
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: round-robin block ownership means every
+        pool page is must-written by every processor in each update
+        epoch -- all pool pages are predicted conflict pages, while the
+        master-only results block stays single-writer."""
+        from repro.analyze.access import AccessPattern
+
+        pool, results = handles["pool"], handles["results"]
+        G, L = params["narrays"], params["length"]
+        stride = params["stride"]
+        block = 2 * stride
+        nblocks = L // block
+        pat = AccessPattern(app=self.name)
+
+        for it in range(params["iters"]):
+            ph = pat.phase(f"iter{it}:read")
+            for p in range(nprocs):
+                if it > 0:
+                    ph.read(results, p, 0, G)
+                for g in range(G):
+                    for b in range(nblocks):
+                        ph.read(pool, p, (g, b * block), stride)
+            ph = pat.phase(f"iter{it}:update")
+            for p in range(nprocs):
+                for g in range(G):
+                    for b in range(p, nblocks, nprocs):
+                        ph.write(pool, p, (g, b * block), block)
+            ph = pat.phase(f"iter{it}:master")
+            for g in range(G):
+                for b in range(nblocks):
+                    ph.read(pool, 0, (g, b * block), stride)
+            ph.write(results, 0, 0, G)
+        return pat
+
+    # ------------------------------------------------------------------
     def reference(self, dataset: str) -> float:
         p = self.params(dataset)
         G, L, iters = p["narrays"], p["length"], p["iters"]

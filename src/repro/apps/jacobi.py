@@ -119,3 +119,28 @@ class Jacobi(Application):
         for _ in range(p["iters"]):
             grid = _jacobi_step(grid)
         return float(np.abs(grid).sum())
+
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: bands of whole rows, read epochs and write
+        epochs separated by barriers (see :meth:`worker`)."""
+        from repro.analyze.access import AccessPattern
+
+        grid = handles["grid"]
+        rows = params["rows"]
+        ranges = [self.block_range(rows, nprocs, p) for p in range(nprocs)]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        for p, (lo, hi) in enumerate(ranges):
+            ph.write_rows(grid, p, lo, hi)
+        for it in range(params["iters"]):
+            rd = pat.phase(f"iter{it}:halo-read")
+            for p, (lo, hi) in enumerate(ranges):
+                rd.read_rows(grid, p, max(lo - 1, 0), min(hi + 1, rows))
+            wr = pat.phase(f"iter{it}:band-write")
+            for p, (lo, hi) in enumerate(ranges):
+                wr.write_rows(grid, p, lo, hi)
+        fin = pat.phase("checksum")
+        for p, (lo, hi) in enumerate(ranges):
+            fin.read_rows(grid, p, lo, hi)
+        return pat

@@ -118,3 +118,40 @@ class MGS(Application):
         p = self.params(dataset)
         basis = _mgs_reference(_initial_vectors(p["nvec"], p["dim"]))
         return float(np.abs(basis.astype(np.float64)).sum())
+
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: cyclically-owned whole-vector accesses.
+
+        Epoch layout follows the worker's barrier placement: epoch ``k``
+        (after the pivot-``k`` barrier) holds everyone's pivot read, the
+        owners' orthogonalization rewrites of vectors ``j > k``, *and*
+        the next pivot's normalization -- the loop's ``k+1`` normalize
+        runs before its barrier, i.e. inside epoch ``k``."""
+        from repro.analyze.access import AccessPattern
+
+        v = handles["vectors"]
+        nvec = params["nvec"]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        for j in range(nvec):
+            ph.write_rows(v, j % nprocs, j, j + 1)
+        ph = pat.phase("normalize0")
+        ph.read_rows(v, 0, 0, 1)
+        ph.write_rows(v, 0, 0, 1)
+        for k in range(nvec):
+            ph = pat.phase(f"orth{k}")
+            for p in range(nprocs):
+                ph.read_rows(v, p, k, k + 1)  # the pivot
+            for j in range(k + 1, nvec):
+                owner = j % nprocs
+                ph.read_rows(v, owner, j, j + 1)
+                ph.write_rows(v, owner, j, j + 1)
+            if k + 1 < nvec:
+                owner = (k + 1) % nprocs
+                ph.read_rows(v, owner, k + 1, k + 2)
+                ph.write_rows(v, owner, k + 1, k + 2)
+        ph = pat.phase("checksum")
+        for j in range(nvec):
+            ph.read_rows(v, j % nprocs, j, j + 1)
+        return pat

@@ -173,6 +173,56 @@ class Shallow(Application):
         return self.collect_checksum(proc, handles, local)
 
     # ------------------------------------------------------------------
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: column-chunk ownership; the flux arrays are
+        written *shifted by one column* but each column still has exactly
+        one writer, so at 4 KB (one column per page) no conflict pages
+        are predicted -- conflicts appear at 8/16 KB units."""
+        from repro.analyze.access import AccessPattern
+
+        ncols = params["ncols"]
+        ranges = [self.block_range(ncols, nprocs, p) for p in range(nprocs)]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        for p, (lo, hi) in enumerate(ranges):
+            for name in STATE:
+                ph.write_rows(handles[name], p, lo, hi)
+        for it in range(params["iters"]):
+            ph = pat.phase(f"iter{it}:flux")
+            for p, (lo, hi) in enumerate(ranges):
+                for name in STATE:
+                    ph.read_rows(handles[name], p, lo, hi)
+                    ph.read_rows(handles[name], p, hi % ncols,
+                                 hi % ncols + 1)
+                for name in FLUX:
+                    if hi < ncols:
+                        ph.write_rows(handles[name], p, lo + 1, hi + 1)
+                    else:
+                        if hi - lo > 1:
+                            ph.write_rows(handles[name], p, lo + 1, ncols)
+                        ph.write_rows(handles[name], p, 0, 1)
+                ph.write_rows(handles["h"], p, lo, hi)
+            ph = pat.phase(f"iter{it}:update")
+            for p, (lo, hi) in enumerate(ranges):
+                for name in ("pnew", "unew", "vnew"):
+                    ph.write_rows(handles[name], p, lo, hi)
+            ph = pat.phase(f"iter{it}:copyback")
+            for p, (lo, hi) in enumerate(ranges):
+                for src, dst in (("pnew", "p"), ("unew", "u"), ("vnew", "v")):
+                    ph.read_rows(handles[src], p, lo, hi)
+                    ph.write_rows(handles[dst], p, lo, hi)
+            ph = pat.phase(f"iter{it}:wraparound")
+            for name in STATE:
+                ph.read_rows(handles[name], 0, ncols - 1, ncols)
+                ph.write_rows(handles[name], 0, 0, 1)
+        ph = pat.phase("checksum")
+        for p, (lo, hi) in enumerate(ranges):
+            for name in STATE:
+                ph.read_rows(handles[name], p, lo, hi)
+        return pat
+
+    # ------------------------------------------------------------------
     def reference(self, dataset: str) -> float:
         prm = self.params(dataset)
         ncols, nrows, iters = prm["ncols"], prm["nrows"], prm["iters"]

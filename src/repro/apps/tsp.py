@@ -366,6 +366,39 @@ class TSP(Application):
         proc.release(QLOCK)
 
     # ------------------------------------------------------------------
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: the branch-and-bound structures are
+        migratory and entirely data-dependent, so everything in the main
+        epoch is a ``may`` access and the analyzer predicts no conflict
+        pages -- the dynamically observed multi-writer pages (pool,
+        heap, free ring, meta, best) all land in the crosscheck's
+        analyzer-gap ratchet, by design."""
+        from repro.analyze.access import AccessPattern
+
+        n = params["n"]
+        dist, pool, best = handles["dist"], handles["pool"], handles["best"]
+        h, free, meta = handles["heap"], handles["free"], handles["meta"]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        ph.write_rows(dist, 0, 0, n)
+        ph.write(best, 0, 0, TOUR_REC)
+        ph.write_rows(pool, 0, 0, 1)
+        ph.write(free, 0, 0, params["max_tours"])
+        ph.write(h, 0, 0, 1)
+        ph.write(meta, 0, 0, 16)
+        ph = pat.phase("search")
+        for p in range(nprocs):
+            ph.read_rows(dist, p, 0, n)
+            for arr in (pool, h, free, meta, best):
+                ph.read_all(arr, p, must=False)
+                ph.write_all(arr, p, must=False)
+        ph = pat.phase("result")
+        for p in range(nprocs):
+            ph.read(best, p, 0, 1)
+        return pat
+
+    # ------------------------------------------------------------------
     def reference(self, dataset: str) -> float:
         p = self.params(dataset)
         return float(held_karp(_distances(p["n"])))

@@ -170,6 +170,50 @@ class Water(Application):
         return self.collect_checksum(proc, handles, local)
 
     # ------------------------------------------------------------------
+    def access_pattern(self, handles, params, nprocs):
+        """Declared pattern: block-owned molecule records with mixed
+        shared/private fields, plus the lock-protected energy word every
+        processor rewrites inside the inter-molecular epoch (the lock
+        orders the writes, but they share one barrier epoch -- the
+        energy page is a predicted multi-writer page)."""
+        from repro.analyze.access import AccessPattern
+
+        mol, energy = handles["mol"], handles["energy"]
+        n = params["n"]
+        ranges = [self.block_range(n, nprocs, p) for p in range(nprocs)]
+        pat = AccessPattern(app=self.name)
+
+        ph = pat.phase("init")
+        for p, (lo, hi) in enumerate(ranges):
+            ph.write_rows(mol, p, lo, hi)
+        ph.write(energy, 0, 0, 16)
+        for it in range(params["iters"]):
+            ph = pat.phase(f"iter{it}:intra")
+            for p, (lo, hi) in enumerate(ranges):
+                for i in range(lo, hi):
+                    ph.read(mol, p, (i, 0), REC)
+                    ph.write(mol, p, (i, 0), 9)
+                    ph.write(mol, p, (i, PRIVATE.start), REC - PRIVATE.start)
+            ph = pat.phase(f"iter{it}:inter")
+            for p, (lo, hi) in enumerate(ranges):
+                for j in range(n):
+                    ph.read(mol, p, (j, 0), 9)
+                for i in range(lo, hi):
+                    ph.write(mol, p, (i, FORCE.start), 9)
+                ph.read(energy, p, 0, 1)
+                ph.write(energy, p, 0, 1)
+            ph = pat.phase(f"iter{it}:integrate")
+            for p, (lo, hi) in enumerate(ranges):
+                for i in range(lo, hi):
+                    ph.read(mol, p, (i, 0), REC)
+                    ph.write(mol, p, (i, 0), FORCE.stop)
+        ph = pat.phase("checksum")
+        for p, (lo, hi) in enumerate(ranges):
+            for i in range(lo, hi):
+                ph.read(mol, p, (i, 0), 18)
+        return pat
+
+    # ------------------------------------------------------------------
     def reference(self, dataset: str) -> float:
         p = self.params(dataset)
         n, iters = p["n"], p["iters"]

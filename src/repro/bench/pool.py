@@ -154,7 +154,9 @@ def run_cells(
     if progress:
         progress(f"fan-out: {len(missing)} cells over {nworkers} workers")
     with ctx.Pool(processes=nworkers) as pool:
-        for cell, data in zip(missing, pool.map(_run_cell_json, missing)):
+        for cell, data in zip(
+            missing, pool.map(_run_cell_json, missing), strict=True
+        ):
             if "__failed__" in data:
                 report.failed.append((str(cell), data["__failed__"]))
                 if progress:

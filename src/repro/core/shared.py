@@ -18,8 +18,25 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.core.proc import Proc
-from repro.dsm.address_space import Allocation
+from repro.dsm.address_space import Allocation, SharedHeapLayout
 from repro.dsm.diff import WORD
+
+
+def alloc_array(
+    layout: SharedHeapLayout, name: str, shape, dtype="float32",
+    page_align: bool = True,
+) -> "SharedArray":
+    """Allocate a typed shared array in ``layout`` (the single shared
+    implementation behind :meth:`repro.core.treadmarks.TreadMarks.array`
+    and the static analyzer's layout probe, so both resolve identical
+    heap addresses for the same ``setup()`` call sequence)."""
+    shape = tuple(int(s) for s in np.atleast_1d(shape)) if not isinstance(
+        shape, tuple
+    ) else shape
+    dt = np.dtype(dtype)
+    nbytes = int(np.prod(shape)) * dt.itemsize
+    alloc = layout.malloc(name, nbytes, page_align=page_align)
+    return SharedArray(alloc, shape, dt)
 
 
 class SharedArray:

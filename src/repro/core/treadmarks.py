@@ -9,10 +9,9 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-import numpy as np
 
 from repro.core.proc import Proc
-from repro.core.shared import SharedArray
+from repro.core.shared import SharedArray, alloc_array
 from repro.dsm.address_space import Allocation, SharedHeapLayout
 from repro.dsm.aggregation import make_aggregator
 from repro.dsm.intervals import IntervalStore
@@ -103,13 +102,7 @@ class TreadMarks:
         self, name: str, shape, dtype="float32", page_align: bool = True
     ) -> SharedArray:
         """Allocate a typed shared array in the heap."""
-        shape = tuple(int(s) for s in np.atleast_1d(shape)) if not isinstance(
-            shape, tuple
-        ) else shape
-        dt = np.dtype(dtype)
-        nbytes = int(np.prod(shape)) * dt.itemsize
-        alloc = self.malloc(name, nbytes, page_align=page_align)
-        return SharedArray(alloc, shape, dt)
+        return alloc_array(self.layout, name, shape, dtype, page_align)
 
     # ------------------------------------------------------------------
     # Execution

@@ -61,7 +61,7 @@ class VectorClock:
     def __le__(self, other: "VectorClock") -> bool:
         """Pointwise <= : "happened before or equal"."""
         self._check_peer(other)
-        return all(a <= b for a, b in zip(self.entries, other.entries))
+        return all(a <= b for a, b in zip(self.entries, other.entries, strict=True))
 
     def __lt__(self, other: "VectorClock") -> bool:
         """Strictly happened-before: <= and not equal."""

@@ -174,7 +174,7 @@ class Engine:
             )
         self._running = True  # never reset: thread and heap state is spent
 
-        for ctx, fn in zip(self.procs, fns):
+        for ctx, fn in zip(self.procs, fns, strict=True):
             ctx._thread = threading.Thread(
                 target=self._thread_body, args=(ctx, fn), daemon=True
             )

@@ -120,7 +120,7 @@ class Network:
     # Observers
     # ------------------------------------------------------------------
     @property
-    def trace(self):
+    def trace(self) -> object:
         """Optional :class:`repro.trace.recorder.TraceRecorder`; every
         recorded message is mirrored as a trace event.  Stored in the
         shared observer list (always first, so the trace sees a message
@@ -129,7 +129,7 @@ class Network:
         return self._trace
 
     @trace.setter
-    def trace(self, recorder) -> None:
+    def trace(self, recorder: object) -> None:
         if self._trace is not None:
             self._observers.remove(self._trace)
         self._trace = recorder

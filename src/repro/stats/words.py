@@ -55,7 +55,7 @@ class WordTracker:
             return
         hit = ids[pending]
         msgs, counts = np.unique(hit, return_counts=True)
-        for m, c in zip(msgs.tolist(), counts.tolist()):
+        for m, c in zip(msgs.tolist(), counts.tolist(), strict=True):
             self._credit(m, c)
         ids[pending] = -1  # in-place on the view -> clears the tracker
 

@@ -25,7 +25,7 @@ pages whose layout (or consistency-unit choice) is costing messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.network import DATA_CLASSES, Network
 from repro.trace.recorder import TraceRecorder
@@ -81,7 +81,7 @@ def attribute_pages(
     for ev in trace.events:
         if ev.kind == "diff_apply":
             per_page = msg_page_words.setdefault(ev.msg_id, {})
-            for page, nw in zip(ev.pages, ev.page_words):
+            for page, nw in zip(ev.pages, ev.page_words, strict=True):
                 per_page[page] = per_page.get(page, 0) + nw
         elif ev.kind == "fault" and not ev.monitoring:
             for unit in ev.units:
@@ -118,13 +118,46 @@ def attribute_pages(
             r.useless_words += nw * useless_frac
             r.useful_words += nw * (1.0 - useless_frac)
             if msg.is_useless:
-                r.useless_messages += nw / carried
+                # Fractional by design: PageAttribution.useless_messages
+                # apportions one message across its pages (module
+                # docstring); it never feeds the golden counters.
+                r.useless_messages += nw / carried  # detlint: ok(golden-float)
 
     for page, n in fault_pages.items():
         row(page).faults += n
 
     return sorted(
         rows.values(), key=lambda r: (-r.useless_words, r.page)
+    )
+
+
+def concurrent_write_pages(trace: TraceRecorder) -> List[int]:
+    """Pages written by >= 2 distinct processors within one barrier
+    epoch, from the linearized access trace.
+
+    A processor's epoch counter is the number of its ``barrier_depart``
+    events seen so far (the recorder's append order is a valid
+    linearization, so per-processor program order is preserved).  This
+    is the dynamic ground truth the static analyzer's predicted
+    conflict pages are validated against
+    (:mod:`repro.analyze.crosscheck`): lock-protected writes by
+    different processors in the same epoch *do* count -- locks order
+    the writes but do not separate the interval, which is exactly the
+    write-write sharing the protocol pays for.
+    """
+    layout = trace.layout
+    if layout is None:
+        raise ValueError("concurrent_write_pages needs the run's layout")
+    epoch = [0] * trace.config.nprocs
+    writers: Dict[Tuple[int, int], Set[int]] = {}
+    for ev in trace.events:
+        if ev.kind == "barrier_depart":
+            epoch[ev.proc] += 1
+        elif ev.kind == "access" and ev.op == "write":
+            for page in layout.pages_of_range(ev.word0, ev.nwords):
+                writers.setdefault((epoch[ev.proc], page), set()).add(ev.proc)
+    return sorted(
+        {page for (_, page), procs in writers.items() if len(procs) >= 2}
     )
 
 

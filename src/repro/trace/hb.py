@@ -112,7 +112,7 @@ class Segment:
 
 
 def _leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
-    return all(x <= y for x, y in zip(a, b))
+    return all(x <= y for x, y in zip(a, b, strict=True))
 
 
 def _concurrent(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:

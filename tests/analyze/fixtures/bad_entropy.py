@@ -1,0 +1,18 @@
+"""detlint fixture: wall-clock and global-random positives (2 + 4
+findings; exact lines pinned by tests/analyze/test_detlint.py)."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp_and_shuffle(items):
+    t0 = time.time()  # finding: wall-clock
+    t1 = time.perf_counter()  # finding: wall-clock
+    random.shuffle(items)  # finding: global random
+    jitter = np.random.rand()  # finding: numpy global RNG
+    rng = np.random.default_rng()  # finding: unseeded default_rng
+    token = os.urandom(8)  # finding: OS entropy
+    return t0, t1, jitter, rng, token

@@ -1,0 +1,16 @@
+"""detlint fixture: id-order and golden-float positives (3 + 2
+findings; exact lines pinned by tests/analyze/test_detlint.py)."""
+
+
+def rank(objs, a, b):
+    ordered = sorted(objs, key=id)  # finding: identity-keyed ordering
+    objs.sort(key=lambda o: hash(o))  # finding: hash-keyed ordering
+    flip = id(a) < id(b)  # finding: id() comparison
+    return ordered, flip
+
+
+def account(report, nwords, nmsgs):
+    report.useless_bytes += nwords * 4.0  # finding: float literal
+    report.useless_messages = nwords / nmsgs  # finding: true division
+    report.useful_bytes += nwords * 4  # clean: integral arithmetic
+    return report

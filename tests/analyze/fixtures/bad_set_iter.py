@@ -1,0 +1,21 @@
+"""detlint fixture: set-iter positives (4 findings; exact lines pinned
+by tests/analyze/test_detlint.py)."""
+
+PAGES = {4096, 8192, 16384}
+
+
+def drain(pending, table):
+    out = []
+    for unit in {1, 2, 3}:  # finding: set literal
+        out.append(unit)
+    converted = set(pending)
+    acc = 0
+    for unit in converted:  # finding: name assigned a set
+        acc += unit
+    out.extend(
+        x * 2 for x in converted | {99}  # finding: set union operator
+    )
+    names = []
+    for key in table.keys():  # finding: dict key view
+        names.append(key)
+    return out, acc, names

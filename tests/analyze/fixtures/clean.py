@@ -1,0 +1,33 @@
+"""detlint fixture: hazard-free spellings of everything the bad_*
+files seed, plus one justified suppression -- zero active findings."""
+
+import random
+
+import numpy as np
+
+
+def drain(pending, table):
+    out = []
+    for unit in sorted(set(pending)):  # sorted() launders the set
+        out.append(unit)
+    for key in table:  # plain dict iteration is insertion-ordered
+        out.append(key)
+    for page in {4096}:  # detlint: ok(set-iter) -- singleton, order moot
+        out.append(page)
+    return out
+
+
+def shuffle(items, seed):
+    rng = random.Random(seed)  # seeded instance, not the global RNG
+    rng.shuffle(items)
+    gen = np.random.default_rng(seed)  # seeded: fine
+    return gen.random()
+
+
+def rank(records):
+    return sorted(records, key=lambda r: r.key)  # stable field, not id()
+
+
+def account(report, nwords):
+    report.useless_bytes += nwords * 4  # integral: no finding
+    return report

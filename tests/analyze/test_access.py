@@ -1,0 +1,78 @@
+"""Access-declaration API and layout-probe fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.access import (
+    AccessPattern,
+    LayoutProbe,
+    build_pattern,
+)
+from repro.apps.base import AppRegistry, get_app
+from repro.bench.golden import SMALL_DATASETS
+from repro.core.treadmarks import TreadMarks
+from repro.sim.config import SimConfig
+
+
+def test_probe_layout_matches_treadmarks_layout():
+    """The soundness of every prediction rests on the probe resolving
+    the same addresses the real runtime does."""
+    config = SimConfig(nprocs=8)
+    app = get_app("Jacobi")
+    dataset = SMALL_DATASETS["Jacobi"]
+    heap = app.heap_bytes(dataset)
+
+    probe = LayoutProbe(config, heap)
+    static = app.setup(probe, dataset)
+
+    tmk = TreadMarks(config, heap_bytes=heap)
+    dynamic = app.setup(tmk, dataset)
+
+    assert sorted(static) == sorted(dynamic)
+    for name, arr in static.items():
+        assert arr.alloc.word_offset == dynamic[name].alloc.word_offset
+        assert arr.shape == dynamic[name].shape
+
+
+def test_every_registered_app_declares_a_pattern():
+    for name in sorted(SMALL_DATASETS):
+        app = get_app(name)
+        assert type(app).declares_access_pattern(), name
+        built = build_pattern(app, SMALL_DATASETS[name])
+        assert built.pattern.n_accesses > 0
+        assert built.pattern.phases
+
+
+def test_registry_and_paper_table_agree():
+    assert set(AppRegistry.names()) == set(SMALL_DATASETS)
+
+
+def test_phase_validates_bounds():
+    config = SimConfig(nprocs=2)
+    probe = LayoutProbe(config, 1 << 20)
+    arr = probe.array("a", (4, 8), "float32")
+    pat = AccessPattern(app="t")
+    ph = pat.phase("p0")
+    ph.read(arr, 0, (0, 0), 32)  # whole array: fine
+    with pytest.raises(IndexError):
+        ph.read(arr, 0, (3, 1), 8)  # runs past the end
+    with pytest.raises(ValueError):
+        ph.access(arr, "rw", 0, 0, 1)  # bogus op
+    with pytest.raises(ValueError):
+        ph.write(arr, 0, 0, 0)  # empty access
+
+
+def test_access_words_are_heap_relative():
+    config = SimConfig(nprocs=2)
+    probe = LayoutProbe(config, 1 << 20)
+    a = probe.array("a", (8,), "float32")
+    b = probe.array("b", (8,), "float32")
+    pat = AccessPattern(app="t")
+    ph = pat.phase("p0")
+    ph.write(a, 0, 0, 1)
+    ph.write(b, 0, 0, 1)
+    w0, w1 = [acc.word0 for acc in ph.accesses]
+    assert w0 == a.alloc.word_offset
+    assert w1 == b.alloc.word_offset
+    assert w0 != w1

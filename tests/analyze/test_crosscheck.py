@@ -1,0 +1,119 @@
+"""Crosscheck gate mechanics.
+
+One real traced run (Jacobi, the cheapest app) exercises the
+static-vs-dynamic join end to end; the ratchet semantics are tested
+against a temporary ratchet file so they never touch the committed one.
+The full 8-app sweep is the CLI acceptance run, not a unit test.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analyze.crosscheck import (
+    RATCHET_PATH,
+    CrosscheckResult,
+    crosscheck_app,
+    load_ratchet,
+    write_ratchet,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def jacobi_result():
+    return crosscheck_app("Jacobi")
+
+
+def test_jacobi_sound_and_gap_free(jacobi_result):
+    assert jacobi_result.sound
+    assert jacobi_result.gaps == []
+    assert jacobi_result.observed == []
+    assert jacobi_result.key == "Jacobi/1Kx1K/p8"
+
+
+def test_committed_ratchet_covers_all_apps():
+    """The committed ratchet must have a cell for every paper app, and
+    only TSP (whose work queue is data-dependent by design) may carry
+    analyzer gaps."""
+    ratchet = load_ratchet()
+    assert RATCHET_PATH == (
+        REPO / "benchmarks" / "analyze" / "crosscheck_gaps.json"
+    )
+    apps = {key.split("/")[0] for key in ratchet}
+    assert apps == {
+        "3D-FFT", "Barnes", "ILINK", "Jacobi", "MGS", "Shallow", "TSP",
+        "Water",
+    }
+    with_gaps = {k.split("/")[0] for k, v in ratchet.items() if v}
+    assert with_gaps == {"TSP"}
+
+
+def test_ratchet_round_trip(tmp_path):
+    path = tmp_path / "r.json"
+    write_ratchet({"B/x/p8": ["b:2", "a:1"], "A/y/p8": []}, path)
+    data = json.loads(path.read_text())
+    assert list(data) == ["A/y/p8", "B/x/p8"]  # sorted keys
+    assert data["B/x/p8"] == ["a:1", "b:2"]  # sorted labels
+    assert load_ratchet(path) == {"A/y/p8": [], "B/x/p8": ["a:1", "b:2"]}
+    assert load_ratchet(tmp_path / "missing.json") == {}
+
+
+def test_run_crosscheck_ratchet_semantics(tmp_path, monkeypatch, capsys):
+    """Drive run_crosscheck with a stubbed crosscheck_app so the
+    ratchet logic is tested without simulations."""
+    import repro.analyze.crosscheck as cc
+
+    gaps_by_app = {"A": ["x:1", "x:2"], "B": []}
+
+    def fake(app_name, dataset=None, nprocs=8):
+        from repro.analyze.predict import Prediction
+
+        pred = Prediction(
+            app=app_name, dataset="d", nprocs=nprocs, page_size=4096,
+            n_phases=1, n_accesses=1, conflict_pages=[], page_labels={},
+            units={},
+        )
+        return CrosscheckResult(
+            app=app_name, dataset="d", nprocs=nprocs, prediction=pred,
+            observed=list(gaps_by_app[app_name]), missing=[],
+            gaps=list(gaps_by_app[app_name]),
+        )
+
+    monkeypatch.setattr(cc, "crosscheck_app", fake)
+    monkeypatch.setattr(
+        cc, "SMALL_DATASETS", {"A": "d", "B": "d"}, raising=False
+    )
+    path = tmp_path / "r.json"
+
+    # 1. No ratchet + gaps -> fail.
+    assert cc.run_crosscheck(ratchet_path=path) == 1
+    # 2. --update-ratchet records the initial gap set and passes.
+    assert cc.run_crosscheck(ratchet_path=path, update_ratchet=True) == 0
+    assert load_ratchet(path) == {"A/d/p8": ["x:1", "x:2"], "B/d/p8": []}
+    # 3. Within the recorded ratchet -> pass.
+    assert cc.run_crosscheck(ratchet_path=path) == 0
+    # 4. A new gap beyond the ratchet -> fail.
+    gaps_by_app["B"] = ["y:9"]
+    assert cc.run_crosscheck(ratchet_path=path) == 1
+    # 5. Gaps may shrink without touching the file.
+    gaps_by_app["A"] = ["x:1"]
+    gaps_by_app["B"] = []
+    capsys.readouterr()  # drain
+    assert cc.run_crosscheck(ratchet_path=path) == 0
+    assert "shrank" in capsys.readouterr().out
+    # 6. An unsound prediction always fails.
+    monkeypatch.setattr(
+        cc,
+        "crosscheck_app",
+        lambda *a, **k: CrosscheckResult(
+            app="A", dataset="d", nprocs=8,
+            prediction=fake("A").prediction, observed=[],
+            missing=["z:0"], gaps=[],
+        ),
+    )
+    assert cc.run_crosscheck(apps=["A"], ratchet_path=path) == 1

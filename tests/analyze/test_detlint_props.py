@@ -1,0 +1,66 @@
+"""Property: a suppression comment is strictly local.  Adding
+``# detlint: ok(rule)`` to one line may flip that line's findings to
+suppressed, but must never change what is reported on any *other* line.
+A violation would mean a suppression can hide (or conjure) hazards at a
+distance -- exactly what the per-line contract forbids."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze.detlint import lint_source
+from repro.analyze.rules import RULES
+
+#: One hazardous statement per rule, plus benign filler; all are
+#: complete single-line statements so any interleaving parses.
+_LINES = [
+    "for _x in {1, 2}: print(_x)",
+    "_t = time.time()",
+    "_r = random.random()",
+    "_o = sorted(_items, key=id)",
+    "_rep.faults += _n / 2",
+    "x = 1",
+    "y = [i for i in range(3)]",
+]
+
+
+@st.composite
+def modules(draw):
+    lines = draw(
+        st.lists(st.sampled_from(_LINES), min_size=1, max_size=8)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _by_line(report, skip_line):
+    """(line, rule, suppressed) findings excluding ``skip_line``."""
+    out = [
+        (f.line, f.rule, f.suppressed)
+        for f in report.findings
+        if f.line != skip_line
+    ]
+    out += [
+        (f.line, f.rule)
+        for f in report.unused_suppressions
+        if f.line != skip_line
+    ]
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    source=modules(),
+    line_no=st.integers(min_value=1, max_value=8),
+    rule=st.sampled_from([r.name for r in RULES]),
+)
+def test_suppression_is_local(source, line_no, rule):
+    lines = source.splitlines()
+    if line_no > len(lines):
+        line_no = len(lines)
+    before = lint_source(source, "<p>")
+
+    lines[line_no - 1] += f"  # detlint: ok({rule})"
+    after = lint_source("\n".join(lines) + "\n", "<p>")
+
+    assert _by_line(before, line_no) == _by_line(after, line_no)

@@ -1,0 +1,84 @@
+"""Prediction-level tests: interval algebra and the hand-derivable
+application results the paper's analysis leans on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.predict import (
+    UNIT_SIZES,
+    merge,
+    predict,
+    subtract,
+    total,
+)
+
+
+# ---------------------------------------------------------------- intervals
+def test_merge_coalesces_and_sorts():
+    assert merge([(5, 7), (1, 3), (2, 4)]) == [(1, 4), (5, 7)]
+    assert merge([]) == []
+    assert merge([(1, 1)]) == []
+
+
+def test_subtract_cases():
+    assert subtract([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+    assert subtract([(0, 10)], []) == [(0, 10)]
+    assert subtract([(1, 2), (3, 4)], [(0, 100)]) == []
+    assert subtract([(0, 4), (6, 9)], [(2, 7)]) == [(0, 2), (7, 9)]
+
+
+def test_total():
+    assert total([(0, 3), (5, 10)]) == 8
+    assert total([]) == 0
+
+
+# ---------------------------------------------------------------- apps
+def test_jacobi_predicts_no_false_sharing_at_4k():
+    """Row-block partitioning with page-aligned 1Kx1K rows: a page has
+    exactly one writer, the paper's 'no false sharing at 4K' case."""
+    p = predict("Jacobi", "1Kx1K")
+    assert p.conflict_pages == ()
+    assert p.page_size == 4096
+
+
+def test_ilink_predicts_every_pool_page():
+    """Round-robin block ownership: all 16 pool pages multi-written."""
+    p = predict("ILINK", "CLP")
+    labels = p.labeled_pages()
+    assert len(labels) == 16
+    assert all(lbl.startswith("pool:") for lbl in labels)
+
+
+def test_mgs_conflicts_appear_only_above_4k():
+    """Cyclic row distribution with 4 KB rows: clean at one page per
+    unit, falsely shared as soon as a unit spans two rows."""
+    p = predict("MGS", "1Kx1K")
+    assert set(p.units) == set(UNIT_SIZES)
+    assert p.units[4096].conflict_units == ()
+    assert len(p.units[8192].conflict_units) > 0
+    assert len(p.units[16384].conflict_units) > 0
+
+
+def test_useless_lower_bound_monotone_in_unit_size():
+    """Fetching in larger units can only drag in more unread words."""
+    for app, dataset in (("ILINK", "CLP"), ("Shallow", "1Kx0.5K")):
+        p = predict(app, dataset)
+        bounds = [
+            p.units[ub].useless_words_lower for ub in sorted(p.units)
+        ]
+        assert bounds == sorted(bounds), (app, bounds)
+
+
+def test_predict_rejects_unknown_app():
+    with pytest.raises(KeyError):
+        predict("NoSuchApp", "tiny")
+
+
+def test_prediction_json_round_trip_fields():
+    p = predict("Water", "512")
+    d = p.to_json_dict()
+    assert d["app"] == "Water"
+    assert d["labeled_pages"] == p.labeled_pages()
+    assert d["conflict_pages"] == list(p.conflict_pages)
+    assert len(d["units"]) == len(UNIT_SIZES)

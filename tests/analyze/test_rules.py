@@ -1,0 +1,109 @@
+"""Per-rule unit tests: one seeded positive, one hazard-free negative,
+and one suppressed spelling for every determinism-lint rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.detlint import lint_source
+from repro.analyze.rules import (
+    GOLDEN_INT_FIELDS,
+    RULES,
+    RULES_BY_NAME,
+    SUPPRESSIBLE,
+)
+from repro.bench.golden import GOLDEN_FIELDS
+
+
+def rules_fired(source: str) -> list:
+    """(line, rule) of active findings for an inline snippet."""
+    report = lint_source(source, "<snippet>")
+    return [(f.line, f.rule) for f in report.findings if not f.suppressed]
+
+
+CASES = {
+    "set-iter": {
+        "positive": "for x in {1, 2}:\n    print(x)\n",
+        "negative": "for x in sorted({1, 2}):\n    print(x)\n",
+    },
+    "wall-clock": {
+        "positive": "import time\nt = time.monotonic()\n",
+        "negative": "clock = object()\nt = clock\n",
+    },
+    "global-random": {
+        "positive": "import random\nx = random.random()\n",
+        "negative": "import random\nx = random.Random(7).random()\n",
+    },
+    "id-order": {
+        "positive": "out = sorted(items, key=id)\n",
+        "negative": "out = sorted(items, key=lambda r: r.key)\n",
+    },
+    "golden-float": {
+        "positive": "r.faults += n / 2\n",
+        "negative": "r.faults += n // 2\n",
+    },
+}
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_rule_fires_on_positive(rule):
+    fired = rules_fired(CASES[rule]["positive"])
+    assert [r for _, r in fired] == [rule]
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_rule_silent_on_negative(rule):
+    assert rules_fired(CASES[rule]["negative"]) == []
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_rule_suppressible(rule):
+    src = CASES[rule]["positive"]
+    line = lint_source(src, "<snippet>").findings[0].line
+    lines = src.splitlines()
+    lines[line - 1] += f"  # detlint: ok({rule})"
+    report = lint_source("\n".join(lines) + "\n", "<snippet>")
+    assert not report.active
+    assert any(f.suppressed and f.rule == rule for f in report.findings)
+
+
+def test_every_rule_has_a_case():
+    assert set(CASES) == {r.name for r in RULES}
+    assert set(CASES) == set(SUPPRESSIBLE)
+    assert set(RULES_BY_NAME) == {r.name for r in RULES}
+
+
+def test_golden_int_fields_tracks_golden_tuple():
+    """The rule module hardcodes the integral golden counters to stay
+    import-light; this pins it to the real GOLDEN_FIELDS tuple."""
+    assert GOLDEN_INT_FIELDS == set(GOLDEN_FIELDS) - {"time_us", "checksum"}
+
+
+# ---------------------------------------------------------------- edge cases
+def test_set_reassigned_to_list_is_cleared():
+    src = "s = {1, 2}\ns = [1, 2]\nfor x in s:\n    print(x)\n"
+    assert rules_fired(src) == []
+
+
+def test_nested_function_is_its_own_scope():
+    # The set is only visible as a set inside g(), and the loop there
+    # must still be caught exactly once.
+    src = (
+        "def g():\n"
+        "    s = {1, 2}\n"
+        "    for x in s:\n"
+        "        print(x)\n"
+    )
+    assert rules_fired(src) == [(3, "set-iter")]
+
+
+def test_seeded_default_rng_ok():
+    assert rules_fired("import numpy as np\nr = np.random.default_rng(42)\n") == []
+
+
+def test_equality_of_ids_is_not_ordering():
+    assert rules_fired("same = id(a) == id(b)\n") == []
+
+
+def test_float_into_non_golden_attr_ok():
+    assert rules_fired("r.latency += n / 2\n") == []
