@@ -6,6 +6,7 @@ Dispatches to the subsystem CLIs::
     python -m repro trace Jacobi 1Kx1K ...     # == python -m repro.trace
     python -m repro faults --chaos-sweep       # == python -m repro.faults
     python -m repro analyze --lint             # == python -m repro.analyze
+    python -m repro protocols --list           # == python -m repro.protocols
 
 ``python -m repro`` alone (or ``--help``) lists the subcommands.
 Everything after the subcommand is handed to that CLI verbatim, so each
@@ -42,6 +43,12 @@ def _analyze(argv: List[str]) -> int:
     return main(argv)
 
 
+def _protocols(argv: List[str]) -> int:
+    from repro.protocols.cli import main
+
+    return main(argv)
+
+
 #: Subcommand -> (runner, one-line description).
 SUBCOMMANDS: Dict[str, tuple] = {
     "bench": (_bench, "regenerate the paper's tables and figures; "
@@ -52,6 +59,8 @@ SUBCOMMANDS: Dict[str, tuple] = {
                         "chaos-sweep invariant gate"),
     "analyze": (_analyze, "determinism lint and static access-pattern "
                           "analysis with dynamic crosscheck"),
+    "protocols": (_protocols, "consistency-protocol zoo: list the registry, "
+                              "cross-protocol checksum smoke gate"),
 }
 
 

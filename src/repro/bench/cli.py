@@ -25,7 +25,16 @@ import pathlib
 import sys
 from typing import Callable, Dict, List
 
-from repro.bench import ablation, cache, figures, golden, micro, pool, table1
+from repro.bench import (
+    ablation,
+    cache,
+    figures,
+    golden,
+    micro,
+    pool,
+    protocol_sweep,
+    table1,
+)
 from repro.bench.harness import ResultCache
 
 
@@ -55,6 +64,10 @@ def _run_ablation() -> str:
     return "Ablations\n" + ablation.render(rows)
 
 
+def _run_protocols() -> str:
+    return protocol_sweep.render(protocol_sweep.sweep_rows())
+
+
 COMMANDS: Dict[str, Callable[[], str]] = {
     "table1": _run_table1,
     "figure1": _run_figure(figures.figure1),
@@ -62,6 +75,7 @@ COMMANDS: Dict[str, Callable[[], str]] = {
     "figure3": _run_figure(figures.figure3),
     "micro": _run_micro,
     "ablation": _run_ablation,
+    "protocols": _run_protocols,
 }
 
 
@@ -76,6 +90,8 @@ def _cells_for(names: List[str]) -> List[pool.SweepCell]:
             cells.extend(figures.cells(name))
         elif name == "ablation":
             cells.extend(ablation.cells())
+        elif name == "protocols":
+            cells.extend(protocol_sweep.cells())
         # micro measures sync primitives directly; it has no sweep cells.
     return cells
 
@@ -165,6 +181,15 @@ def main(argv=None) -> int:
         "(skips the micro baselines)",
     )
     parser.add_argument(
+        "--protocols",
+        type=str,
+        default=None,
+        metavar="P[,P]|all",
+        help="widen --check / --refresh-golden to these consistency "
+        f"protocols ('all' = {','.join(golden.GOLDEN_PROTOCOLS)}; "
+        "default: the default protocol only)",
+    )
+    parser.add_argument(
         "--trace-out",
         type=pathlib.Path,
         default=None,
@@ -188,6 +213,18 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 1")
 
     apps = args.only.split(",") if args.only else None
+    if args.protocols == "all":
+        protocols = golden.GOLDEN_PROTOCOLS
+    elif args.protocols:
+        protocols = tuple(args.protocols.split(","))
+        unknown = set(protocols) - set(golden.GOLDEN_PROTOCOLS)
+        if unknown:
+            parser.error(
+                f"unknown protocol(s) {sorted(unknown)} "
+                f"(choose from {', '.join(golden.GOLDEN_PROTOCOLS)} or 'all')"
+            )
+    else:
+        protocols = (golden.DEFAULT_PROTOCOL,)
     previous_disk = ResultCache.disk()
     ResultCache.configure(
         None if args.no_cache else cache.DiskCache(args.cache_dir)
@@ -209,12 +246,16 @@ def main(argv=None) -> int:
 
         if args.refresh_golden:
             written = golden.write_golden(
-                args.golden_dir, apps=apps, jobs=args.jobs
+                args.golden_dir, apps=apps, jobs=args.jobs,
+                protocols=protocols,
             )
             for path in written:
                 print(f"wrote {path}")
         if args.check:
-            report = golden.check(args.golden_dir, apps=apps, jobs=args.jobs)
+            report = golden.check(
+                args.golden_dir, apps=apps, jobs=args.jobs,
+                protocols=protocols,
+            )
             print(report.render())
             if not report.ok:
                 return 1

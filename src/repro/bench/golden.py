@@ -11,7 +11,10 @@ bug or must be acknowledged by regenerating the baselines
 (``--refresh-golden``) and reviewing the diff in the commit.
 
 File layout: one ``<app>.json`` per application holding
-``{dataset: {label: {counter: value}}}``, plus ``micro.json``.
+``{dataset: {label: {counter: value}}}``, plus ``micro.json``.  Baselines
+for non-default consistency protocols (``--protocols``) use the same
+layout under a ``<protocol>/`` subdirectory; the default protocol's
+files stay at the top level, byte-identical to the pre-zoo layout.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench import micro
 from repro.bench.harness import CaseResult, ResultCache
 from repro.bench.pool import SweepCell, run_cells
+from repro.sim.config import DEFAULT_PROTOCOL
 
 #: Counters compared exactly against the baselines, in report order.
 #: The fault-lab counters are all zero on the gate's reliable network;
@@ -62,12 +66,28 @@ SMALL_DATASETS = {
 
 GOLDEN_LABELS = ("4K", "8K", "16K", "Dyn")
 
+#: Protocols with committed baselines.  The default protocol's files
+#: live at the top of the golden directory exactly as before the
+#: protocol zoo existed (byte-identical paths and content); each other
+#: protocol gets a ``<protocol>/`` subdirectory with the same layout.
+GOLDEN_PROTOCOLS = (DEFAULT_PROTOCOL, "erc", "hlrc", "swi")
+
 #: Default baseline directory (checked into the repository).
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "golden"
 
 
-def golden_cells(apps: Optional[Sequence[str]] = None) -> List[SweepCell]:
-    """The gate's sweep cells, optionally restricted to some apps."""
+def _protocol_extra(protocol: str) -> dict:
+    """The config override for one protocol -- empty for the default, so
+    default-protocol cells keep their pre-zoo cache keys and seeds."""
+    return {} if protocol == DEFAULT_PROTOCOL else {"protocol": protocol}
+
+
+def golden_cells(
+    apps: Optional[Sequence[str]] = None,
+    protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
+) -> List[SweepCell]:
+    """The gate's sweep cells, optionally restricted to some apps and
+    widened to extra protocols."""
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
     for name in names:
         if name not in SMALL_DATASETS:
@@ -75,7 +95,8 @@ def golden_cells(apps: Optional[Sequence[str]] = None) -> List[SweepCell]:
                 f"unknown application {name!r}; have {sorted(SMALL_DATASETS)}"
             )
     return [
-        SweepCell.make(app, SMALL_DATASETS[app], label)
+        SweepCell.make(app, SMALL_DATASETS[app], label, **_protocol_extra(p))
+        for p in protocols
         for app in names
         for label in GOLDEN_LABELS
     ]
@@ -128,12 +149,19 @@ def compare_case(where: str, case: CaseResult, golden: dict) -> List[Mismatch]:
 # ----------------------------------------------------------------------
 # Baseline files
 # ----------------------------------------------------------------------
-def _app_path(golden_dir: pathlib.Path, app: str) -> pathlib.Path:
-    return golden_dir / f"{app.replace('/', '_')}.json"
+def _app_path(
+    golden_dir: pathlib.Path, app: str, protocol: str = DEFAULT_PROTOCOL
+) -> pathlib.Path:
+    name = f"{app.replace('/', '_')}.json"
+    if protocol == DEFAULT_PROTOCOL:
+        return golden_dir / name
+    return golden_dir / protocol / name
 
 
-def load_app_golden(golden_dir: pathlib.Path, app: str) -> Optional[dict]:
-    path = _app_path(golden_dir, app)
+def load_app_golden(
+    golden_dir: pathlib.Path, app: str, protocol: str = DEFAULT_PROTOCOL
+) -> Optional[dict]:
+    path = _app_path(golden_dir, app, protocol)
     if not path.is_file():
         return None
     return json.loads(path.read_text())
@@ -145,27 +173,33 @@ def write_golden(
     jobs: int = 1,
     with_micro: bool = True,
     progress=None,
+    protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
 ) -> List[pathlib.Path]:
     """(Re)generate baseline files from the current code; returns the
     paths written."""
-    cells = golden_cells(apps)
+    cells = golden_cells(apps, protocols)
     run_cells(cells, jobs=jobs, progress=progress)
     golden_dir = pathlib.Path(golden_dir)
-    golden_dir.mkdir(parents=True, exist_ok=True)
     written = []
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
-    for app in names:
-        ds = SMALL_DATASETS[app]
-        entry = {
-            ds: {
-                label: case_snapshot(ResultCache.get(app, ds, label))
-                for label in GOLDEN_LABELS
+    for protocol in protocols:
+        extra = _protocol_extra(protocol)
+        for app in names:
+            ds = SMALL_DATASETS[app]
+            entry = {
+                ds: {
+                    label: case_snapshot(
+                        ResultCache.get(app, ds, label, **extra)
+                    )
+                    for label in GOLDEN_LABELS
+                }
             }
-        }
-        path = _app_path(golden_dir, app)
-        path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
-        written.append(path)
-    if with_micro and apps is None:
+            path = _app_path(golden_dir, app, protocol)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
+            written.append(path)
+    if with_micro and apps is None and DEFAULT_PROTOCOL in protocols:
+        golden_dir.mkdir(parents=True, exist_ok=True)
         path = golden_dir / "micro.json"
         path.write_text(
             json.dumps(micro.snapshot(micro.run_all()), indent=1, sort_keys=True)
@@ -223,26 +257,30 @@ def check(
     jobs: int = 1,
     with_micro: bool = True,
     progress=None,
+    protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
 ) -> CheckReport:
     """Run the gate matrix and compare every cell against the baselines."""
     report = CheckReport()
     golden_dir = pathlib.Path(golden_dir)
-    cells = golden_cells(apps)
+    cells = golden_cells(apps, protocols)
     run_cells(cells, jobs=jobs, progress=progress)
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
-    for app in names:
-        ds = SMALL_DATASETS[app]
-        golden = load_app_golden(golden_dir, app)
-        for label in GOLDEN_LABELS:
-            where = f"{app}/{ds}@{label}"
-            case = ResultCache.get(app, ds, label)
-            report.cells_checked += 1
-            entry = (golden or {}).get(ds, {}).get(label)
-            if entry is None:
-                report.missing.append(where)
-                continue
-            report.mismatches.extend(compare_case(where, case, entry))
-    if with_micro and apps is None:
+    for protocol in protocols:
+        extra = _protocol_extra(protocol)
+        tag = "" if protocol == DEFAULT_PROTOCOL else f" [{protocol}]"
+        for app in names:
+            ds = SMALL_DATASETS[app]
+            golden = load_app_golden(golden_dir, app, protocol)
+            for label in GOLDEN_LABELS:
+                where = f"{app}/{ds}@{label}{tag}"
+                case = ResultCache.get(app, ds, label, **extra)
+                report.cells_checked += 1
+                entry = (golden or {}).get(ds, {}).get(label)
+                if entry is None:
+                    report.missing.append(where)
+                    continue
+                report.mismatches.extend(compare_case(where, case, entry))
+    if with_micro and apps is None and DEFAULT_PROTOCOL in protocols:
         path = golden_dir / "micro.json"
         measured = micro.snapshot(micro.run_all())
         report.cells_checked += len(measured)

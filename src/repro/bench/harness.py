@@ -73,6 +73,11 @@ class CaseResult:
     duplicate_deliveries: int = 0
     timeout_stalls: int = 0
 
+    protocol: str = "tm-lrc"
+    """Consistency protocol of the run (``SimConfig.protocol``).
+    Defaulted so cache entries and baselines written before the protocol
+    zoo existed still round-trip through :meth:`from_json_dict`."""
+
     @property
     def total_messages(self) -> int:
         return (
@@ -115,6 +120,7 @@ class CaseResult:
             retransmissions=res.stats.retransmissions,
             duplicate_deliveries=res.stats.duplicate_deliveries,
             timeout_stalls=res.stats.timeout_stalls,
+            protocol=res.config.protocol,
         )
 
     # ------------------------------------------------------------------

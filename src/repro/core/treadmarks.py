@@ -19,6 +19,7 @@ from repro.dsm.lrc import LrcProc
 from repro.dsm.sync import SyncManager
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import parse_plan
+from repro.protocols import get_protocol
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine, ProcContext
 from repro.sim.network import Network
@@ -72,21 +73,22 @@ class TreadMarks:
                 trace=self.trace,
             )
             self.network.add_observer(self.faults)
-        self.procs: List[LrcProc] = []
-        for pid in range(config.nprocs):
-            lp = LrcProc(
-                pid=pid,
-                layout=self.layout,
-                config=config,
-                store=self.store,
-                network=self.network,
-                stats=self.stats,
-                clock=self.engine.procs[pid].clock,
-                credit=self._credit,
-            )
+        # The consistency protocol builds the per-processor engines (and
+        # owns any cross-processor wiring: peer lists, directories); the
+        # runtime attaches observers and aggregation strategies after.
+        info = get_protocol(config.protocol)
+        self.procs: List[LrcProc] = info.build(
+            self.layout,
+            config,
+            self.store,
+            self.network,
+            self.stats,
+            [self.engine.procs[pid].clock for pid in range(config.nprocs)],
+            self._credit,
+        )
+        for lp in self.procs:
             lp.trace = self.trace
             lp.aggregator = make_aggregator(lp)
-            self.procs.append(lp)
         self.sync = SyncManager(config, self.network, self.procs, self.stats)
         self.sync.trace = self.trace
         self._ran = False

@@ -1,0 +1,7 @@
+"""``python -m repro.protocols`` -- see :mod:`repro.protocols.cli`."""
+
+import sys
+
+from repro.protocols.cli import main
+
+sys.exit(main())

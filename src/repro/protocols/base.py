@@ -1,0 +1,191 @@
+"""The consistency-protocol interface and registry.
+
+A *protocol* is a recipe for building the per-processor consistency
+engines of one simulated run.  :class:`repro.dsm.lrc.LrcProc` defines the
+contract structurally -- the substrate (engine, sync manager, aggregation
+strategies, fault lab) only ever calls the methods named in
+:class:`ConsistencyProtocol` -- so alternative protocols subclass
+``LrcProc`` and override the pieces that differ:
+
+* ``close_interval``  -- what happens at a release (lazy notice queueing,
+  eager flush to a home, eager push to all sharers, nothing),
+* ``apply_notices_upto`` -- what an acquire invalidates,
+* ``fetch`` -- how an access miss is serviced (multi-writer diff gather,
+  single round-trip to a home/owner, never).
+
+Protocols register a :class:`ProtocolInfo` under a short name; the
+runtime (:class:`repro.core.treadmarks.TreadMarks`) resolves
+``SimConfig.protocol`` through :func:`get_protocol` and calls the
+protocol's ``build`` hook to construct the processor array.  The hook
+owns any cross-processor wiring (peer lists, shared directories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+    runtime_checkable,
+)
+
+from repro.dsm.lrc import LrcProc
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.dsm.address_space import SharedHeapLayout
+    from repro.dsm.intervals import IntervalStore
+    from repro.dsm.vc import VectorClock
+    from repro.sim.clock import Clock
+    from repro.sim.config import SimConfig
+    from repro.sim.network import Network
+    from repro.stats.counters import ProtocolStats
+
+#: ``credit(msg_id, nwords)`` -- the word-usefulness callback the runtime
+#: hands every processor (resolves words as useful on first read).
+CreditFn = Callable[[int, int], None]
+
+#: ``build(layout, config, store, network, stats, clocks, credit)`` ->
+#: the per-processor engines, index == pid.  The hook performs all
+#: protocol-internal wiring; the runtime attaches trace recorders and
+#: aggregation strategies afterwards.
+BuildFn = Callable[
+    [
+        "SharedHeapLayout",
+        "SimConfig",
+        "IntervalStore",
+        "Network",
+        "ProtocolStats",
+        "List[Clock]",
+        CreditFn,
+    ],
+    List[LrcProc],
+]
+
+
+@runtime_checkable
+class ConsistencyProtocol(Protocol):
+    """Structural contract between the substrate and a protocol engine.
+
+    Everything the engine, sync manager, aggregators, and application
+    shim call on a per-processor protocol object.  ``LrcProc`` (and thus
+    every subclass) satisfies it; the class exists as documentation and
+    for static checking of new implementations, not for inheritance.
+    """
+
+    pid: int
+
+    def read_words(
+        self, word0: int, nwords: int
+    ) -> "np.ndarray[Any, np.dtype[Any]]":
+        """Shared read (faulting + usefulness + access cost)."""
+        ...
+
+    def write_words(
+        self, word0: int, values: "np.ndarray[Any, np.dtype[Any]]"
+    ) -> None:
+        """Shared write (faulting + write capture + access cost)."""
+        ...
+
+    def at_sync_point(self) -> None:
+        """Run on the processor's own thread before it parks at any
+        synchronization operation (release semantics live here)."""
+        ...
+
+    def apply_notices_upto(
+        self, new_vc: "VectorClock"
+    ) -> Tuple[float, int, int]:
+        """Advance this processor's knowledge to ``new_vc`` (acquire
+        semantics); returns ``(cost_us, payload_bytes, n_notices)``."""
+        ...
+
+    def fetch(self, units: Sequence[int]) -> None:
+        """Service an access miss on ``units``."""
+        ...
+
+    def monitoring_fault(self, unit: int) -> None:
+        """Pay for a data-less access-tracking fault (dynamic mode)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """One registered consistency protocol."""
+
+    name: str
+    """Registry key, the value of ``SimConfig.protocol``."""
+
+    description: str
+    """One-line summary shown by ``python -m repro protocols --list``."""
+
+    build: BuildFn
+    """Constructor hook for the per-processor engines."""
+
+
+_REGISTRY: Dict[str, ProtocolInfo] = {}
+
+
+def register(info: ProtocolInfo) -> ProtocolInfo:
+    """Add a protocol to the registry (module-import time); returns it."""
+    if info.name in _REGISTRY:
+        raise ValueError(f"protocol {info.name!r} registered twice")
+    _REGISTRY[info.name] = info
+    return info
+
+
+def get_protocol(name: str) -> ProtocolInfo:
+    """Look up a registered protocol by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; registered: {protocol_names()}"
+        ) from None
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """The registered protocol names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_protocols() -> List[ProtocolInfo]:
+    """All registered protocols, sorted by name."""
+    return [_REGISTRY[name] for name in protocol_names()]
+
+
+def build_uniform(proc_cls: Type[LrcProc]) -> BuildFn:
+    """A ``build`` hook for protocols with no cross-processor wiring:
+    one ``proc_cls`` instance per pid, constructed like ``LrcProc``."""
+
+    def build(
+        layout: "SharedHeapLayout",
+        config: "SimConfig",
+        store: "IntervalStore",
+        network: "Network",
+        stats: "ProtocolStats",
+        clocks: "List[Clock]",
+        credit: CreditFn,
+    ) -> List[LrcProc]:
+        return [
+            proc_cls(
+                pid=pid,
+                layout=layout,
+                config=config,
+                store=store,
+                network=network,
+                stats=stats,
+                clock=clocks[pid],
+                credit=credit,
+            )
+            for pid in range(config.nprocs)
+        ]
+
+    return build

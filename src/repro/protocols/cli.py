@@ -1,0 +1,143 @@
+"""Command-line front end of the protocol zoo.
+
+    python -m repro protocols --list
+    python -m repro protocols --smoke
+    python -m repro protocols --smoke --apps Jacobi,TSP --label 4K
+
+``--list`` dumps the registry.  ``--smoke`` is the cross-protocol
+correctness gate used by CI: it runs the named applications (smallest
+paper dataset) under **every** registered protocol and requires each
+run's checksum to equal the committed tm-lrc golden checksum exactly --
+all four protocols implement release consistency for data-race-free
+programs, so final data is protocol-invariant; any checksum drift means
+a coherence bug, not a cost-model change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.bench import golden
+from repro.bench.harness import run_case
+from repro.protocols import all_protocols
+from repro.sim.config import DEFAULT_PROTOCOL
+
+
+def render_list() -> str:
+    """The registry as a two-column table."""
+    infos = all_protocols()
+    width = max(len(i.name) for i in infos)
+    lines = ["registered consistency protocols:"]
+    for info in infos:
+        marker = "*" if info.name == DEFAULT_PROTOCOL else " "
+        lines.append(f" {marker} {info.name:<{width}}  {info.description}")
+    lines.append("(* = default; select with SimConfig.protocol / the")
+    lines.append(" --protocols flag of `python -m repro.bench protocols`)")
+    return "\n".join(lines)
+
+
+def run_smoke(
+    apps: List[str], label: str, golden_dir: pathlib.Path
+) -> List[str]:
+    """Run every protocol on every app; returns failure lines (empty =
+    pass).  Prints one status line per cell as it goes."""
+    failures: List[str] = []
+    for app in apps:
+        dataset = golden.SMALL_DATASETS.get(app)
+        if dataset is None:
+            failures.append(
+                f"{app}: unknown application "
+                f"(have {sorted(golden.SMALL_DATASETS)})"
+            )
+            continue
+        entry = golden.load_app_golden(golden_dir, app)
+        expected = (entry or {}).get(dataset, {}).get(label, {}).get("checksum")
+        if expected is None:
+            # No committed baseline: anchor on a fresh tm-lrc run so the
+            # cross-protocol invariance is still enforced.
+            expected = run_case(app, dataset, label).checksum
+            src = "tm-lrc run"
+        else:
+            src = "tm-lrc golden"
+        for info in all_protocols():
+            extra = {} if info.name == DEFAULT_PROTOCOL else {
+                "protocol": info.name
+            }
+            case = run_case(app, dataset, label, **extra)
+            ok = case.checksum == expected
+            status = "ok " if ok else "FAIL"
+            print(
+                f"  [{status}] {app}/{dataset}@{label} {info.name}: "
+                f"checksum {case.checksum!r} vs {src} {expected!r}"
+            )
+            if not ok:
+                failures.append(
+                    f"{app}/{dataset}@{label} {info.name}: checksum "
+                    f"{case.checksum!r} != {src} {expected!r}"
+                )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro protocols",
+        description="Consistency-protocol zoo: registry and smoke gate.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_protocols",
+        help="list the registered protocols",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the cross-protocol checksum gate (exit 1 on drift)",
+    )
+    parser.add_argument(
+        "--apps",
+        type=str,
+        default="Jacobi,TSP",
+        metavar="APP[,APP]",
+        help="applications for --smoke (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--label",
+        type=str,
+        default="4K",
+        choices=("4K", "8K", "16K", "Dyn"),
+        help="consistency configuration for --smoke (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        type=pathlib.Path,
+        default=golden.GOLDEN_DIR,
+        help="golden baseline directory (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not args.list_protocols and not args.smoke:
+        parser.error("nothing to do: give --list and/or --smoke")
+
+    if args.list_protocols:
+        print(render_list())
+    if args.smoke:
+        apps = [a for a in args.apps.split(",") if a]
+        failures = run_smoke(apps, args.label, args.golden_dir)
+        if failures:
+            print(
+                f"protocol smoke FAILED ({len(failures)} mismatch(es)):",
+                file=sys.stderr,
+            )
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        n = len(apps) * len(all_protocols())
+        print(f"protocol smoke OK: {n} runs, checksums protocol-invariant")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+#: Name of the default consistency protocol (TreadMarks LRC).  Kept here
+#: rather than in :mod:`repro.protocols` because the config layer must
+#: not depend on the protocol implementations (they depend on it).
+DEFAULT_PROTOCOL = "tm-lrc"
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -57,6 +62,16 @@ class SimConfig:
     dynamic: bool = False
     """Use the Section-4 dynamic page-group aggregation algorithm instead
     of a static consistency unit."""
+
+    protocol: str = DEFAULT_PROTOCOL
+    """Consistency protocol implementation (a name registered in
+    :mod:`repro.protocols`): ``"tm-lrc"`` (TreadMarks lazy release
+    consistency, the paper's protocol), ``"hlrc"`` (home-based LRC),
+    ``"erc"`` (eager release consistency), or ``"swi"`` (single-writer
+    invalidate).  The default is **omitted** from :meth:`to_dict` and
+    hence from :meth:`canonical_json`, so cache keys, cell seeds, and
+    golden baselines produced before this field existed stay valid
+    byte-for-byte."""
 
     max_group_pages: int = 8
     """Maximum number of pages per dynamic page group (the paper leaves
@@ -247,6 +262,18 @@ class SimConfig:
             )
         if self.word_size != 4:
             raise ValueError("the instrumentation assumes 4-byte words")
+        if self.protocol != DEFAULT_PROTOCOL:
+            # Check against the registry (lazy import: the protocols
+            # package depends on this module, not the other way around).
+            # The default name skips the import so constructing a stock
+            # config never pulls in the protocol implementations.
+            from repro.protocols import protocol_names
+
+            if self.protocol not in protocol_names():
+                raise ValueError(
+                    f"unknown protocol {self.protocol!r}; registered: "
+                    f"{protocol_names()}"
+                )
         if self.fault_plan:
             # Parse-validate the embedded plan (lazy import: the faults
             # package depends on this module, not the other way around).
@@ -265,8 +292,18 @@ class SimConfig:
     # this; see repro.bench.cache)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """All fields as a JSON-safe dict (ints, floats, bools only)."""
-        return dataclasses.asdict(self)
+        """All fields as a JSON-safe dict (ints, floats, bools only).
+
+        ``protocol`` is omitted when it holds the default, so the
+        canonical JSON (and everything keyed on it: config hashes, cache
+        keys, cell seeds, golden baselines) of a default-protocol config
+        is byte-identical to what it was before the field existed.
+        :meth:`from_dict` fills the missing key back in via the dataclass
+        default."""
+        data = dataclasses.asdict(self)
+        if data["protocol"] == DEFAULT_PROTOCOL:
+            del data["protocol"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimConfig":

@@ -36,6 +36,24 @@ class MessageClass(enum.Enum):
     BARRIER = "barrier"
     """Barrier arrival / departure traffic."""
 
+    DIFF_FLUSH = "diff_flush"
+    """A diff eagerly flushed to a unit's home node at release time
+    (home-based LRC, :mod:`repro.protocols.hlrc`).  One-way: no exchange,
+    the sender does not stall on it."""
+
+    DIFF_PUSH = "diff_push"
+    """Write notices plus diffs pushed to a sharer at release time
+    (eager release consistency, :mod:`repro.protocols.erc`).  One-way."""
+
+    OWNERSHIP = "ownership"
+    """Unit-ownership request / grant traffic (single-writer invalidate,
+    :mod:`repro.protocols.swi`).  Carries no data: the requester's copy
+    is already current when ownership moves."""
+
+    INVALIDATE = "invalidate"
+    """Invalidation (and its ack) sent to the holders of a unit's copies
+    when a new writer takes over (single-writer invalidate)."""
+
     RETRANSMIT = "retransmit"
     """Transport-level copies injected by the fault lab: timed-out
     retransmissions and duplicate deliveries (see :mod:`repro.faults`).
@@ -44,12 +62,26 @@ class MessageClass(enum.Enum):
 
 
 #: Message classes whose payload is classified word-by-word into useful and
-#: useless data (the paper's Figures 1 and 2 breakdowns).
-DATA_CLASSES = frozenset({MessageClass.DIFF_REPLY})
+#: useless data (the paper's Figures 1 and 2 breakdowns).  DIFF_REPLY is
+#: classified via its exchange; the eager flush/push classes carry data
+#: outside any exchange and classify by their own resolved word counts.
+DATA_CLASSES = frozenset(
+    {MessageClass.DIFF_REPLY, MessageClass.DIFF_FLUSH, MessageClass.DIFF_PUSH}
+)
 
-#: Message classes counted as synchronization overhead; they are invariant
-#: across consistency-unit sizes.
-SYNC_CLASSES = frozenset({MessageClass.LOCK, MessageClass.BARRIER})
+#: Message classes counted as consistency-control / synchronization
+#: overhead.  Under tm-lrc (locks and barriers only) these are invariant
+#: across consistency-unit sizes; the single-writer invalidate protocol
+#: adds ownership and invalidation traffic, which is exactly the part of
+#: its overhead that *does* scale with false sharing.
+SYNC_CLASSES = frozenset(
+    {
+        MessageClass.LOCK,
+        MessageClass.BARRIER,
+        MessageClass.OWNERSHIP,
+        MessageClass.INVALIDATE,
+    }
+)
 
 
 @dataclass
@@ -241,10 +273,10 @@ class Network:
 
     @property
     def data_message_count(self) -> int:
-        """Messages attributable to fault-time diff traffic."""
-        return sum(
-            self._by_class[c]
-            for c in (MessageClass.DIFF_REQUEST, MessageClass.DIFF_REPLY)
+        """Messages attributable to data traffic: fault-time requests
+        plus every data-carrying class (replies, flushes, pushes)."""
+        return self._by_class[MessageClass.DIFF_REQUEST] + sum(
+            self._by_class[c] for c in DATA_CLASSES
         )
 
     @property

@@ -67,6 +67,22 @@ class ProtocolStats:
     barriers: int = 0
 
     # ------------------------------------------------------------------
+    # Protocol-zoo counters (repro.protocols): all zero under tm-lrc.
+    # ------------------------------------------------------------------
+    diff_flushes: int = 0
+    """Diffs eagerly flushed to a home node at release (hlrc)."""
+
+    update_pushes: int = 0
+    """Release-time update messages pushed to sharers (erc)."""
+
+    ownership_transfers: int = 0
+    """Unit ownership moved between processors (swi) -- the ping-pong
+    counter: false sharing under an invalidate protocol shows up here."""
+
+    invalidations: int = 0
+    """Invalidation messages sent to copy holders (swi)."""
+
+    # ------------------------------------------------------------------
     # Fault-lab counters (repro.faults): all zero on a reliable network.
     # ------------------------------------------------------------------
     retransmissions: int = 0

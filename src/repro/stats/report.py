@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.sim.config import SimConfig
-from repro.sim.network import DATA_CLASSES, MessageClass, Network
+from repro.sim.network import DATA_CLASSES, SYNC_CLASSES, MessageClass, Network
 from repro.stats.counters import ProtocolStats
 from repro.stats.signature import FalseSharingSignature, build_signature
 
@@ -130,15 +130,17 @@ def summarize_comm(network: Network, config: SimConfig) -> CommBreakdown:
             comm.fault_messages += 1
             comm.fault_bytes += msg.payload_bytes
             continue
-        if msg.klass in (MessageClass.LOCK, MessageClass.BARRIER):
+        if msg.klass in SYNC_CLASSES:
             comm.sync_messages += 1
             comm.sync_bytes += msg.payload_bytes
             continue
-        useless = (
-            exchange_useless.get(msg.exchange_id, False)
-            if msg.exchange_id is not None
-            else False
-        )
+        if msg.exchange_id is not None:
+            useless = exchange_useless.get(msg.exchange_id, False)
+        else:
+            # Data messages outside an exchange (eager flushes/pushes)
+            # classify by their own resolved word usefulness.  Inert for
+            # tm-lrc: its only exchange-less messages are sync-class.
+            useless = msg.is_useless
         if useless:
             comm.useless_messages += 1
             comm.useless_bytes += msg.payload_bytes

@@ -226,6 +226,50 @@ class GroupDissolveEvent(TraceEvent):
 
 
 @dataclass
+class DiffFlushEvent(TraceEvent):
+    """Home-based LRC: a releaser flushed one unit's diff to the unit's
+    home node (``proc`` is the releaser)."""
+
+    home: int = -1
+    unit: int = -1
+    nwords: int = 0
+    msg_id: int = -1
+    """The DIFF_FLUSH message that carried the diff."""
+
+    def __post_init__(self) -> None:
+        self.kind = "diff_flush"
+
+
+@dataclass
+class DiffPushEvent(TraceEvent):
+    """Eager release consistency: a releaser pushed its interval's diffs
+    and write notices to one sharer (``proc`` is the releaser)."""
+
+    dst: int = -1
+    units: Tuple[int, ...] = ()
+    nwords: int = 0
+    msg_id: int = -1
+    """The DIFF_PUSH message that carried the update."""
+
+    def __post_init__(self) -> None:
+        self.kind = "diff_push"
+
+
+@dataclass
+class OwnershipEvent(TraceEvent):
+    """Single-writer invalidate: ``proc`` became the writer of a unit
+    (``prev_owner`` is -1 for a first-touch claim), invalidating
+    ``invalidated`` other copies."""
+
+    unit: int = -1
+    prev_owner: int = -1
+    invalidated: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = "ownership"
+
+
+@dataclass
 class FaultInjectedEvent(TraceEvent):
     """The fault lab perturbed one message delivery (or, for
     ``fault == "straggler"``, paused a node).  ``proc`` is the processor

@@ -25,6 +25,8 @@ from repro.trace.events import (
     BarrierDepartEvent,
     DiffApplyEvent,
     DiffCreateEvent,
+    DiffFlushEvent,
+    DiffPushEvent,
     FaultEvent,
     FaultInjectedEvent,
     GroupBuildEvent,
@@ -33,6 +35,7 @@ from repro.trace.events import (
     LockAcquireEvent,
     LockReleaseEvent,
     MessageEvent,
+    OwnershipEvent,
     ParkEvent,
     ResumeEvent,
     RetransmitEvent,
@@ -143,6 +146,42 @@ class TraceRecorder:
                 msg_id=msg_id,
                 pages=pages,
                 page_words=page_words,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol zoo (repro.protocols)
+    # ------------------------------------------------------------------
+    def on_diff_flush(
+        self, proc: int, home: int, ts: float, unit: int, nwords: int,
+        msg_id: int,
+    ) -> int:
+        return self._emit(
+            DiffFlushEvent(
+                -1, ts, proc, home=home, unit=unit, nwords=nwords,
+                msg_id=msg_id,
+            )
+        )
+
+    def on_diff_push(
+        self, proc: int, dst: int, ts: float, units: Tuple[int, ...],
+        nwords: int, msg_id: int,
+    ) -> int:
+        return self._emit(
+            DiffPushEvent(
+                -1, ts, proc, dst=dst, units=units, nwords=nwords,
+                msg_id=msg_id,
+            )
+        )
+
+    def on_ownership(
+        self, proc: int, ts: float, unit: int, prev_owner: int,
+        invalidated: int,
+    ) -> int:
+        return self._emit(
+            OwnershipEvent(
+                -1, ts, proc, unit=unit, prev_owner=prev_owner,
+                invalidated=invalidated,
             )
         )
 

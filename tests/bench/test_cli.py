@@ -9,6 +9,7 @@ from repro.bench.harness import ResultCache
 def test_commands_cover_all_experiments():
     assert set(COMMANDS) == {
         "table1", "figure1", "figure2", "figure3", "micro", "ablation",
+        "protocols",
     }
 
 
@@ -36,9 +37,16 @@ def test_nothing_to_do_rejected():
 
 
 def test_cells_for_covers_every_sweep_experiment():
-    for name in ("table1", "figure1", "figure2", "figure3", "ablation"):
+    for name in (
+        "table1", "figure1", "figure2", "figure3", "ablation", "protocols",
+    ):
         assert _cells_for([name]), name
     assert _cells_for(["micro"]) == []  # micro has no sweep cells
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["--check", "--protocols", "mesi"])
 
 
 def test_main_restores_cache_configuration(tmp_path):
@@ -80,3 +88,16 @@ class TestGoldenFlow:
                    "--cache-dir", str(tmp_path / "cache")])
         assert rc == 1
         assert "missing baseline" in capsys.readouterr().out
+
+    def test_protocol_baselines_roundtrip(self, tmp_path, capsys):
+        # --protocols widens the gate; non-default baselines land in a
+        # <protocol>/ subdirectory and check tags cells with [erc].
+        gdir = tmp_path / "golden"
+        args = ["--only", "Jacobi", "--protocols", "erc",
+                "--golden-dir", str(gdir),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(["--refresh-golden"] + args) == 0
+        assert (gdir / "erc" / "Jacobi.json").exists()
+        assert not (gdir / "Jacobi.json").exists()
+        assert main(["--check"] + args) == 0
+        assert "golden check OK" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Protocol-sweep helpers (pure logic; the full sweep is exercised by
+`python -m repro.bench protocols` and the golden gate)."""
+
+from repro.bench import golden, protocol_sweep
+
+
+def test_cells_cover_the_full_matrix():
+    cells = protocol_sweep.cells()
+    # 4 protocols x 8 apps x 4 unit labels.
+    assert len(cells) == (
+        len(protocol_sweep.PROTOCOL_ORDER)
+        * len(golden.SMALL_DATASETS)
+        * len(golden.GOLDEN_LABELS)
+    )
+
+
+def test_protocol_order_matches_golden_protocols():
+    assert set(protocol_sweep.PROTOCOL_ORDER) == set(golden.GOLDEN_PROTOCOLS)
+    assert protocol_sweep.PROTOCOL_ORDER[0] == "tm-lrc"
+
+
+class TestStopsPaying:
+    def test_monotone_improvement_reaches_the_largest_unit(self):
+        times = {"4K": 3.0, "8K": 2.0, "16K": 1.0, "Dyn": 9.0}
+        assert protocol_sweep.stops_paying(times) == "16K"
+
+    def test_immediate_regression_stays_at_4k(self):
+        times = {"4K": 1.0, "8K": 2.0, "16K": 0.5, "Dyn": 9.0}
+        # 16K is cheapest overall but the scan is about *growing* the
+        # unit: the first step already regressed.
+        assert protocol_sweep.stops_paying(times) == "4K"
+
+    def test_partial_improvement_stops_mid_scan(self):
+        times = {"4K": 2.0, "8K": 1.5, "16K": 1.5, "Dyn": 9.0}
+        assert protocol_sweep.stops_paying(times) == "8K"
+
+    def test_ties_do_not_count_as_improvement(self):
+        times = {"4K": 1.0, "8K": 1.0, "16K": 0.9, "Dyn": 9.0}
+        assert protocol_sweep.stops_paying(times) == "4K"

@@ -1,0 +1,62 @@
+"""Cross-protocol checksum invariance over whole application runs.
+
+All four protocols implement release consistency, and every application
+is data-race free, so each app's final data -- its checksum -- must be
+*bit-identical* under every protocol (the cost counters of course
+differ; those are pinned per protocol by the golden baselines).  This is
+the zoo's core correctness oracle: any drift is a coherence bug in a
+protocol implementation, never an acceptable modelling difference.
+"""
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.protocols import protocol_names
+from repro.sim.config import SimConfig
+from tests.conftest import ALL_APPS, tiny_app
+
+ZOO = tuple(p for p in protocol_names() if p != "tm-lrc")
+
+
+@pytest.fixture(scope="module")
+def tmlrc_checksums():
+    """Reference checksums of every tiny app under the paper's protocol."""
+    out = {}
+    for name in ALL_APPS:
+        app, ds = tiny_app(name)
+        out[name] = run_app(app, ds, SimConfig(nprocs=8)).checksum
+    return out
+
+
+@pytest.mark.parametrize("protocol", ZOO)
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_checksum_is_protocol_invariant(name, protocol, tmlrc_checksums):
+    app, ds = tiny_app(name)
+    res = run_app(app, ds, SimConfig(nprocs=8, protocol=protocol))
+    assert res.checksum == tmlrc_checksums[name]
+
+
+@pytest.mark.parametrize("name", ["Jacobi", "Water"])
+def test_erc_runs_are_faultless(name):
+    app, ds = tiny_app(name)
+    res = run_app(app, ds, SimConfig(nprocs=8, protocol="erc"))
+    assert res.stats.faults == 0
+
+
+@pytest.mark.parametrize("name", ["Water", "TSP"])
+def test_swi_migratory_data_transfers_ownership(name):
+    # Lock-protected shared state migrates between writers, so a full
+    # run must exercise the ownership-transfer path.
+    app, ds = tiny_app(name)
+    res = run_app(app, ds, SimConfig(nprocs=8, protocol="swi"))
+    assert res.stats.ownership_transfers > 0
+    assert res.stats.invalidations > 0
+
+
+def test_swi_single_writer_app_never_transfers():
+    # Jacobi's rows each have one writer for the whole run: copies are
+    # invalidated (readers hold them) but ownership never moves.
+    app, ds = tiny_app("Jacobi")
+    res = run_app(app, ds, SimConfig(nprocs=8, protocol="swi"))
+    assert res.stats.ownership_transfers == 0
+    assert res.stats.invalidations > 0

@@ -120,6 +120,55 @@ def test_random_program_matches_oracle(program, cfg_kwargs):
     assert not failures, failures
 
 
+PROTOCOLS = ("tm-lrc", "hlrc", "erc", "swi")
+
+
+@given(programs())
+@settings(max_examples=10, deadline=None)
+def test_final_state_is_protocol_invariant(program):
+    """The zoo-wide oracle: a random race-free barrier-phased program
+    leaves bit-identical final memory under every consistency protocol
+    (the in-flight visibility rules differ -- eager protocols may
+    legitimately publish sooner than LRC -- but the post-barrier state
+    may not)."""
+    nprocs, rounds = program
+    finals = {}
+    for protocol in PROTOCOLS:
+        tmk = TreadMarks(
+            SimConfig(nprocs=nprocs, protocol=protocol),
+            heap_bytes=NWORDS * 4,
+        )
+        arr = tmk.array("a", (NWORDS,), "uint32")
+        holder = {}
+
+        def body(proc):
+            for r, (writes, _) in enumerate(rounds):
+                for start, length, value in writes[proc.id]:
+                    arr.write(
+                        proc, start, np.full(length, value, np.uint32)
+                    )
+                proc.barrier(r)
+            got = arr.read(proc, 0, NWORDS)
+            if proc.id == 0:
+                holder["final"] = got.copy()
+            proc.barrier(999)
+            return float(got.sum())
+
+        res = tmk.run(body)
+        finals[protocol] = (res.checksum, holder["final"])
+
+    # Oracle: apply all writes in any order (disjoint stripes).
+    expect = np.zeros(NWORDS, dtype=np.uint32)
+    for writes, _ in rounds:
+        for p, ops in writes.items():
+            for start, length, value in ops:
+                expect[start : start + length] = value
+
+    for protocol, (checksum, final) in finals.items():
+        assert checksum == finals["tm-lrc"][0], protocol
+        assert np.array_equal(final, expect), protocol
+
+
 @given(st.integers(2, 4), st.integers(1, 6), st.sampled_from(CONFIGS))
 @settings(max_examples=15, deadline=None)
 def test_lock_counter_never_loses_updates(nprocs, increments, cfg_kwargs):

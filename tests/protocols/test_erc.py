@@ -1,0 +1,128 @@
+"""Eager RC: push fan-out, eager knowledge transfer, faultlessness."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimConfig, TreadMarks
+from repro.sim.network import MessageClass
+
+WORDS_PER_PAGE = 1024
+
+
+def make(nprocs=4):
+    tmk = TreadMarks(
+        SimConfig(nprocs=nprocs, protocol="erc"), heap_bytes=1 << 16
+    )
+    arr = tmk.array("a", (4 * WORDS_PER_PAGE,), "uint32")
+    return tmk, arr
+
+
+def pushes(tmk):
+    return [
+        m for m in tmk.network.messages if m.klass is MessageClass.DIFF_PUSH
+    ]
+
+
+class TestPushFanOut:
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_one_push_per_peer_per_dirty_release(self, nprocs):
+        tmk, arr = make(nprocs=nprocs)
+
+        def body(proc):
+            if proc.id == 0:
+                arr.write(proc, 0, np.full(8, 5, np.uint32))
+            proc.barrier()
+
+        tmk.run(body)
+        sent = pushes(tmk)
+        assert len(sent) == nprocs - 1
+        assert {m.dst for m in sent} == set(range(1, nprocs))
+        assert all(m.src == 0 for m in sent)
+        assert tmk.stats.update_pushes == nprocs - 1
+
+    def test_clean_release_pushes_nothing(self):
+        tmk, arr = make()
+
+        def body(proc):
+            arr.read(proc, 0, 8)
+            proc.barrier()
+
+        tmk.run(body)
+        assert pushes(tmk) == []
+
+    def test_pushes_are_one_way_and_carry_the_written_words(self):
+        tmk, arr = make()
+
+        def body(proc):
+            if proc.id == 0:
+                arr.write(proc, 0, np.full(12, 5, np.uint32))
+            proc.barrier()
+
+        tmk.run(body)
+        for m in pushes(tmk):
+            assert m.exchange_id is None
+            assert m.words_carried == 12
+
+
+class TestNoFaults:
+    def test_readers_never_fault(self):
+        tmk, arr = make()
+
+        def body(proc):
+            if proc.id == 0:
+                arr.write(proc, 0, np.full(8, 11, np.uint32))
+            proc.barrier(0)
+            got = arr.read(proc, 0, 8)
+            assert np.all(got == 11)
+            proc.barrier(1)
+
+        res = tmk.run(body)
+        assert res.stats.faults == 0
+        assert not tmk.network.exchanges
+
+    def test_fetch_is_structurally_unreachable(self):
+        tmk, _ = make()
+        with pytest.raises(AssertionError, match="erc never faults"):
+            tmk.procs[0].fetch([0])
+
+    def test_acquire_finds_no_unseen_notices(self):
+        # Every close joined all peers' clocks, so pending stays empty.
+        tmk, arr = make()
+
+        def body(proc):
+            if proc.id == 0:
+                arr.write(proc, 0, np.full(8, 2, np.uint32))
+            proc.barrier(0)
+            if proc.id == 1:
+                arr.write(proc, 64, np.full(8, 3, np.uint32))
+            proc.barrier(1)
+
+        tmk.run(body)
+        assert all(not lp.pending for lp in tmk.procs)
+
+
+class TestUnitSizeIndifference:
+    def test_message_count_invariant_across_unit_sizes(self):
+        # Word-granularity pushes: growing the unit changes nothing on
+        # the wire (the flat rows of the protocol sweep).
+        counts = {}
+        for pages in (1, 2, 4):
+            tmk = TreadMarks(
+                SimConfig(nprocs=4, protocol="erc", unit_pages=pages),
+                heap_bytes=1 << 16,
+            )
+            arr = tmk.array("a", (4 * WORDS_PER_PAGE,), "uint32")
+
+            def body(proc):
+                if proc.id == 0:
+                    arr.write(proc, 0, np.full(8, 5, np.uint32))
+                    arr.write(
+                        proc, 3 * WORDS_PER_PAGE, np.full(8, 6, np.uint32)
+                    )
+                proc.barrier(0)
+                arr.read(proc, 0, 8)
+                proc.barrier(1)
+
+            tmk.run(body)
+            counts[pages] = len(pushes(tmk))
+        assert counts[1] == counts[2] == counts[4]
