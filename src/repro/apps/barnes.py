@@ -237,6 +237,78 @@ def force_on(
     return acc.astype(np.float32), inter
 
 
+def batched_forces(
+    pos_i: np.ndarray,
+    ids: np.ndarray,
+    get_cells: Callable[[np.ndarray], np.ndarray],
+    get_bodies: Callable[[np.ndarray], np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Barnes-Hut accelerations on a batch of bodies at once; returns
+    ``(acc (m, 3) float32, interactions (m,) int64)``.
+
+    Level-order version of :func:`force_on`: one frontier of
+    (body, cell) pairs per tree level, expanded together.  The opening
+    criterion depends only on the cell record and the body position, so
+    the visited node *set* per body equals the scalar traversal's; only
+    the accumulation order changes (per level: cell terms summed in
+    float64 per body via ``bincount``, rounded into the float32
+    accumulator, then leaf-body terms likewise).  Per body the partial
+    sums depend only on its own pair subsequence, never on the batch,
+    so the worker (one block) and the reference (all bodies) fold
+    identically.
+
+    ``get_cells(cids)`` / ``get_bodies(js)`` fetch record batches (from
+    shared memory in the DSM run, from plain arrays in the reference);
+    both may receive duplicate ids within one call."""
+    m = int(pos_i.shape[0])
+    acc = np.zeros((m, 3), dtype=np.float32)
+    inter = np.zeros(m, dtype=np.int64)
+    if m == 0:
+        return acc, inter
+    pb = np.arange(m, dtype=np.int64)  # pair -> batch row
+    pc = np.zeros(m, dtype=np.int64)   # pair -> cell id (all start at root)
+    while pb.size:
+        cells = get_cells(pc)
+        d = cells[:, 0:3] - pos_i[pb]
+        r2 = (d * d).sum(axis=1) + EPS2
+        far = (cells[:, 4] * cells[:, 4]) < (THETA2 * r2)
+        if far.any():
+            inv = np.float32(1.0) / np.sqrt(r2[far])
+            w = cells[far, 3] * inv * inv * inv
+            rows = pb[far]
+            contrib = d[far] * w[:, None]
+            for c in range(3):
+                acc[:, c] += np.bincount(
+                    rows, weights=contrib[:, c], minlength=m
+                ).astype(np.float32)
+            inter += np.bincount(rows, minlength=m)
+        refs = cells[~far, 8:16].astype(np.int64)
+        pair_b = np.repeat(pb[~far], 8)
+        flat = refs.reshape(-1)
+        keep = flat != 0
+        pair_b, flat = pair_b[keep], flat[keep]
+        is_cell = flat > 0
+        jb = pair_b[~is_cell]
+        js = -flat[~is_cell] - 1
+        not_self = js != ids[jb]
+        jb, js = jb[not_self], js[not_self]
+        if js.size:
+            brow = get_bodies(js)
+            db = brow[:, 0:3] - pos_i[jb]
+            rb2 = (db * db).sum(axis=1) + EPS2
+            invb = np.float32(1.0) / np.sqrt(rb2)
+            wb = brow[:, 9] * invb * invb * invb
+            contribb = db * wb[:, None]
+            for c in range(3):
+                acc[:, c] += np.bincount(
+                    jb, weights=contribb[:, c], minlength=m
+                ).astype(np.float32)
+            inter += np.bincount(jb, minlength=m)
+        pb = pair_b[is_cell]
+        pc = flat[is_cell] - 1
+    return acc, inter
+
+
 #: Flops charged per gravitational interaction.
 FLOPS_PER_INTERACTION = 60
 
@@ -261,6 +333,10 @@ class Barnes(Application):
         # boundaries inside pages, preserving the boundary write-write
         # false sharing of the original.
         "16K": {"n": 1080, "iters": 2, "max_cells": 4096},
+        # Paper full size: 32K bodies, unscaled.  Only reachable at
+        # simulator speed through the bulk-access fast path; kept out of
+        # the default golden gate (see ``--full`` in repro.bench).
+        "32K": {"n": 32768, "iters": 2, "max_cells": 65536},
     }
 
     def heap_bytes(self, dataset: str) -> int:
@@ -287,16 +363,17 @@ class Barnes(Application):
             bodies.write_rows(proc, mine[0], init[mine[0] : mine[-1] + 1])
         proc.barrier()
 
+        rows = np.asarray(mine, dtype=np.int64)
         for _ in range(iters):
             # ---- Master builds the tree, reading every body record
-            # fine-grained, then writes the serialized cells.
+            # fine-grained (one 10-word range per body, gathered in
+            # index order), then writes the serialized cells.
             if proc.id == 0:
-                pos = np.empty((n, 3), dtype=np.float32)
-                mass = np.empty(n, dtype=np.float32)
-                for j in range(n):
-                    rec = bodies.read(proc, (j, 0), 10)
-                    pos[j] = rec[0:3]
-                    mass[j] = rec[9]
+                recs = bodies.gather_rows(
+                    proc, np.arange(n, dtype=np.int64), 0, 10
+                )
+                pos = np.ascontiguousarray(recs[:, 0:3])
+                mass = np.ascontiguousarray(recs[:, 9])
                 tree = build_tree(pos, mass)
                 if tree.shape[0] > params["max_cells"]:
                     raise RuntimeError(
@@ -304,31 +381,52 @@ class Barnes(Application):
                         f"max_cells={params['max_cells']}"
                     )
                 proc.compute(us=15.0 * n)  # sequential build work
-                for cid in range(tree.shape[0]):
-                    cells.write_row(proc, cid, tree[cid])
+                cells.scatter_rows(
+                    proc, np.arange(tree.shape[0], dtype=np.int64), tree
+                )
                 meta.write(proc, 0, np.array([tree.shape[0]], np.int32))
             proc.barrier()
 
             # ---- Parallel force computation over the cyclic partition.
-            cell_cache: Dict[int, np.ndarray] = {}
-            body_cache: Dict[int, np.ndarray] = {}
+            # Records are still read per body / per cell (10- and 16-word
+            # ranges), but batched per traversal level: each level's
+            # unseen records are gathered together in ascending id
+            # order.  The visited record SET matches the scalar
+            # traversal's, so coherence traffic is unchanged.
+            cell_store = np.zeros(
+                (params["max_cells"], CELL_REC), dtype=np.float32
+            )
+            cell_have = np.zeros(params["max_cells"], dtype=bool)
+            body_store = np.zeros((n, 10), dtype=np.float32)
+            body_have = np.zeros(n, dtype=bool)
+            own = bodies.gather_rows(proc, rows, 0, 10) if mine else \
+                np.zeros((0, 10), dtype=np.float32)
+            body_store[rows] = own
+            body_have[rows] = True
 
-            def read_cell(cid: int) -> np.ndarray:
-                if cid not in cell_cache:
-                    cell_cache[cid] = cells.read_row(proc, cid)
-                return cell_cache[cid]
+            def get_cells(cids: np.ndarray) -> np.ndarray:
+                missing = np.unique(cids[~cell_have[cids]])
+                if missing.size:
+                    cell_store[missing] = cells.gather_rows(
+                        proc, missing, 0, CELL_REC
+                    )
+                    cell_have[missing] = True
+                return cell_store[cids]
 
-            def read_body(j: int) -> np.ndarray:
-                if j not in body_cache:
-                    body_cache[j] = bodies.read(proc, (j, 0), 10)
-                return body_cache[j]
+            def get_bodies(js: np.ndarray) -> np.ndarray:
+                missing = np.unique(js[~body_have[js]])
+                if missing.size:
+                    body_store[missing] = bodies.gather_rows(
+                        proc, missing, 0, 10
+                    )
+                    body_have[missing] = True
+                return body_store[js]
 
-            accs: Dict[int, np.ndarray] = {}
-            for i in mine:
-                rec = read_body(i).copy()
-                acc, inter = force_on(i, rec[0:3], read_cell, read_body)
-                proc.compute(flops=inter * FLOPS_PER_INTERACTION)
-                accs[i] = acc
+            acc, inter = batched_forces(
+                np.ascontiguousarray(own[:, 0:3]), rows,
+                get_cells, get_bodies,
+            )
+            proc.compute(flops=int(inter.sum()) * FLOPS_PER_INTERACTION)
             proc.barrier()
 
             # ---- Update phase: owners integrate their bodies, publishing
@@ -337,19 +435,22 @@ class Barnes(Application):
             # phase is read-only, so traversal reads of remote records
             # are never concurrent with owner writes (the phases are
             # race-free under the repro.trace happens-before check).
-            for i in mine:
-                rec = bodies.read_row(proc, i)
-                rec[6:9] = accs[i]
-                rec[3:6] = rec[3:6] + rec[6:9] * DT
-                rec[0:3] = rec[0:3] + rec[3:6] * DT
-                proc.compute(flops=12)
-                bodies.write(proc, (i, 0), rec[0:9])  # fine-grained write
+            if mine:
+                recs = bodies.gather_rows(proc, rows, 0, BODY_REC)
+                out = recs[:, 0:9].copy()
+                out[:, 6:9] = acc
+                out[:, 3:6] = out[:, 3:6] + out[:, 6:9] * DT
+                out[:, 0:3] = out[:, 0:3] + out[:, 3:6] * DT
+                proc.compute(flops=12 * len(mine))
+                bodies.scatter_rows(proc, rows, out, 0)
             proc.barrier()
 
         local = 0.0
-        for i in mine:
-            rec = bodies.read(proc, (i, 0), 9)
-            local += float(np.abs(rec).astype(np.float64).sum())
+        if mine:
+            local = float(
+                np.abs(bodies.gather_rows(proc, rows, 0, 9))
+                .astype(np.float64).sum()
+            )
         return self.collect_checksum(proc, handles, local)
 
     # ------------------------------------------------------------------
@@ -401,16 +502,12 @@ class Barnes(Application):
         b = _initial_bodies(n)
         for _ in range(iters):
             tree = build_tree(b[:, 0:3].copy(), b[:, 9].copy())
-
-            def read_cell(cid: int) -> np.ndarray:
-                return tree[cid]
-
-            def read_body(j: int) -> np.ndarray:
-                return b[j, 0:10]
-
-            acc = np.zeros((n, 3), dtype=np.float32)
-            for i in range(n):
-                acc[i], _ = force_on(i, b[i, 0:3].copy(), read_cell, read_body)
+            acc, _ = batched_forces(
+                np.ascontiguousarray(b[:, 0:3]),
+                np.arange(n, dtype=np.int64),
+                lambda cids: tree[cids],
+                lambda js: b[js, 0:10],
+            )
             b[:, 6:9] = acc
             b[:, 3:6] = b[:, 3:6] + b[:, 6:9] * DT
             b[:, 0:3] = b[:, 0:3] + b[:, 3:6] * DT

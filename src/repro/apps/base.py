@@ -138,9 +138,16 @@ def get_app(name: str) -> Application:
 
 
 def run_app(
-    app: Application, dataset: str, config: SimConfig
+    app: Application, dataset: str, config: SimConfig,
+    validate_access: bool = False,
 ) -> RunResult:
-    """Run one application dataset under one DSM configuration."""
+    """Run one application dataset under one DSM configuration.
+
+    ``validate_access=True`` attaches a
+    :class:`repro.core.validate.BulkAccessValidator` built from the
+    app's :meth:`~Application.access_pattern` declaration (resolved
+    against the run's real heap layout), so every bulk gather/scatter
+    outside the declaration raises instead of running."""
     params = app.params(dataset)
     tmk = TreadMarks(
         config,
@@ -149,6 +156,12 @@ def run_app(
         dataset=dataset,
     )
     handles = app.setup(tmk, dataset)
+    if validate_access:
+        from repro.core.validate import BulkAccessValidator
+
+        tmk.access_validator = BulkAccessValidator(
+            app.access_pattern(handles, params, config.nprocs)
+        )
 
     def body(proc: Proc) -> float:
         return app.worker(proc, handles, params)

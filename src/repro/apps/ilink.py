@@ -44,6 +44,16 @@ def _contribution(g: int, idx: np.ndarray, it: int) -> np.ndarray:
     return (np.sin(x) * np.float32(0.5)).astype(np.float32)
 
 
+def _genarray_sum(vals2d: np.ndarray) -> np.float32:
+    """Sum one genarray's value halves ((nblocks, stride) float32):
+    per-block float32 row sums folded by numpy's reduction order.
+    Shared by the workers, the master, and the reference so the
+    checksum folds identically everywhere."""
+    return np.float32(
+        vals2d.sum(axis=1, dtype=np.float32).sum(dtype=np.float32)
+    )
+
+
 @AppRegistry.register
 class Ilink(Application):
     """Master/slave sparse-genarray pool workload."""
@@ -78,27 +88,28 @@ class Ilink(Application):
         P = proc.nprocs
         checksum = 0.0
 
+        bases = np.arange(nblocks, dtype=np.int64) * block
+        own_b = np.arange(proc.id, nblocks, P, dtype=np.int64)
+        idx2d = bases[:, None] + np.arange(stride, dtype=np.int64)[None, :]
+
         proc.barrier()
         for it in range(iters):
             # ---- Read phase.  Read the published totals, then walk
             # every genarray reading the value half of every block (tiny
-            # reads, every page).  Own-block values are kept for the
-            # update phase; reads and the owners' updates sit in
-            # different barrier epochs so the workload is free of
-            # happens-before races (checked by the repro.trace detector).
+            # strided reads, every page, gathered in block order).
+            # Own-block values are kept for the update phase; reads and
+            # the owners' updates sit in different barrier epochs so the
+            # workload is free of happens-before races (checked by the
+            # repro.trace detector).
             if it > 0:
                 res = results.read(proc, 0, G).astype(np.float32)
             else:
                 res = np.zeros(G, dtype=np.float32)
             own_vals = {}
             for g in range(G):
-                acc = np.float32(0.0)
-                for b in range(nblocks):
-                    base = b * block
-                    vals = pool.read(proc, (g, base), stride)
-                    acc = np.float32(acc + vals.sum(dtype=np.float32))
-                    if b % P == proc.id:
-                        own_vals[(g, b)] = vals
+                vals2d = pool.gather(proc, g * L + bases, stride)
+                _genarray_sum(vals2d)
+                own_vals[g] = vals2d[own_b]
                 # Genetic-likelihood updates are very compute-heavy
                 # (the paper's sequential Ilink runs 1128 s).
                 proc.compute(flops=1500 * (L // (2 * P)))
@@ -106,17 +117,14 @@ class Ilink(Application):
 
             # ---- Update phase: rewrite own blocks (values + scratch).
             for g in range(G):
-                for b in range(nblocks):
-                    if b % P != proc.id:
-                        continue
-                    base = b * block
-                    idx = np.arange(base, base + stride)
-                    new = (own_vals[(g, b)] * np.float32(0.9)
-                           + _contribution(g, idx, it)
-                           + res[g] * np.float32(1e-6)).astype(np.float32)
-                    scratch = (new * np.float32(0.5)).astype(np.float32)
-                    pool.write(proc, (g, base),
-                               np.concatenate([new, scratch]))
+                new = (own_vals[g] * np.float32(0.9)
+                       + _contribution(g, idx2d[own_b], it)
+                       + res[g] * np.float32(1e-6)).astype(np.float32)
+                scratch = (new * np.float32(0.5)).astype(np.float32)
+                pool.scatter(
+                    proc, g * L + bases[own_b],
+                    np.concatenate([new, scratch], axis=1),
+                )
             proc.barrier()
 
             # ---- Master phase: sum every genarray's values, publish.
@@ -124,10 +132,9 @@ class Ilink(Application):
                 total = np.float32(0.0)
                 sums = np.empty(G, dtype=np.float32)
                 for g in range(G):
-                    acc = np.float32(0.0)
-                    for b in range(nblocks):
-                        vals = pool.read(proc, (g, b * block), stride)
-                        acc = np.float32(acc + vals.sum(dtype=np.float32))
+                    acc = _genarray_sum(
+                        pool.gather(proc, g * L + bases, stride)
+                    )
                     sums[g] = acc
                     total = np.float32(total + acc)
                     proc.compute(flops=L // 2)
@@ -186,24 +193,20 @@ class Ilink(Application):
         pool = np.zeros((G, L), dtype=np.float32)
         sums = np.zeros(G, dtype=np.float32)
         checksum = 0.0
+        idx2d = (np.arange(nblocks, dtype=np.int64)[:, None] * block
+                 + np.arange(stride, dtype=np.int64)[None, :])
         for it in range(iters):
             res = sums.copy() if it > 0 else np.zeros(G, dtype=np.float32)
             for g in range(G):
-                for b in range(nblocks):
-                    base = b * block
-                    vals = pool[g, base : base + stride]
-                    idx = np.arange(base, base + stride)
-                    new = (vals * np.float32(0.9)
-                           + _contribution(g, idx, it)
-                           + res[g] * np.float32(1e-6)).astype(np.float32)
-                    pool[g, base : base + stride] = new
-                    pool[g, base + stride : base + block] = new * np.float32(0.5)
+                blocks = pool[g].reshape(nblocks, block)
+                new = (blocks[:, :stride] * np.float32(0.9)
+                       + _contribution(g, idx2d, it)
+                       + res[g] * np.float32(1e-6)).astype(np.float32)
+                blocks[:, :stride] = new
+                blocks[:, stride:block] = new * np.float32(0.5)
             total = np.float32(0.0)
             for g in range(G):
-                acc = np.float32(0.0)
-                for b in range(nblocks):
-                    vals = pool[g, b * block : b * block + stride]
-                    acc = np.float32(acc + vals.sum(dtype=np.float32))
+                acc = _genarray_sum(pool[g].reshape(nblocks, block)[:, :stride])
                 sums[g] = acc
                 total = np.float32(total + acc)
             checksum = float(total)

@@ -62,6 +62,11 @@ class Jacobi(Application):
         "1Kx1K": {"rows": 96, "cols": 1024, "iters": 4},
         # Paper 2Kx2K: rows of 2048 float32 = 8 KB = two pages.
         "2Kx2K": {"rows": 96, "cols": 2048, "iters": 4},
+        # Full 512x512 grid, unscaled (all rows): rows of 512 float32 =
+        # 2 KB = half a page, so adjacent partitions share boundary
+        # pages -- the paper's false-sharing regime at the 4 KB unit.
+        # Only in the ``--full`` golden matrix (bulk fast path speed).
+        "512x512": {"rows": 512, "cols": 512, "iters": 4},
     }
 
     def heap_bytes(self, dataset: str) -> int:

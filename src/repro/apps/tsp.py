@@ -185,6 +185,8 @@ class TSP(Application):
         """Bounded depth-first completion of a partial tour; returns
         (best cost found or ub, best full path, nodes visited)."""
         n = d.shape[0]
+        dl = d.tolist()  # plain ints: ~5x faster inner loop, same values
+        me = [int(x) for x in min_edge]
         best_cost = ub
         best_path = list(path) + [0] * (n - len(path))
         visited = 0
@@ -193,33 +195,36 @@ class TSP(Application):
             in_path[c] = True
         cur = list(path)
 
-        def rec(last: int, cost: int) -> None:
+        def rec(last: int, cost: int, rem_bound: int) -> None:
+            # ``rem_bound`` is the sum of min_edge over cities not in
+            # ``cur`` -- maintained incrementally (integer-exact, so the
+            # pruning decisions and visit counts match the recomputed
+            # version bit for bit).
             nonlocal best_cost, best_path, visited
             visited += 1
             if len(cur) == n:
-                total = cost + int(d[last, 0])
+                total = cost + dl[last][0]
                 if total < best_cost:
                     best_cost = total
                     best_path = list(cur)
                 return
-            rem_bound = sum(
-                int(min_edge[r]) for r in range(1, n) if not in_path[r]
-            )
             if cost + rem_bound >= best_cost:
                 return
+            row = dl[last]
             for c in range(1, n):
                 if in_path[c]:
                     continue
-                nc = cost + int(d[last, c])
+                nc = cost + row[c]
                 if nc >= best_cost:
                     continue
                 in_path[c] = True
                 cur.append(c)
-                rec(c, nc)
+                rec(c, nc, rem_bound - me[c])
                 cur.pop()
                 in_path[c] = False
 
-        rec(path[-1], cost)
+        rem0 = sum(me[r] for r in range(1, n) if not in_path[r])
+        rec(path[-1], cost, rem0)
         return best_cost, best_path, visited
 
     # ------------------------------------------------------------------
@@ -321,19 +326,22 @@ class TSP(Application):
                         best.write(proc, 0, rec)
                     proc.release(BLOCK)
             else:
+                # sum(min_edge[remaining]) + min_edge[c] over
+                # remaining = not-in-path minus {c} equals the in-path
+                # complement sum, independent of c (integer-exact).
+                rem_all = int(
+                    sum(int(min_edge[r]) for r in range(1, n)
+                        if r not in in_path)
+                )
+                path_list = list(int(x) for x in path)
                 for c in range(1, n):
                     if c in in_path:
                         continue
                     ncost = cost + int(d[last, c])
                     proc.compute(flops=8)
-                    remaining = [
-                        r for r in range(1, n) if r not in in_path and r != c
-                    ]
-                    lb = ncost + int(
-                        sum(min_edge[r] for r in remaining) + min_edge[c]
-                    )
+                    lb = ncost + rem_all
                     if lb < cur_best:
-                        all_children.append((lb, ncost, list(int(x) for x in path), c))
+                        all_children.append((lb, ncost, list(path_list), c))
 
     # ------------------------------------------------------------------
     def _publish(self, proc, params, handles, all_children, claimed) -> None:

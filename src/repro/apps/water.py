@@ -68,6 +68,47 @@ def _pair_energy(pi: np.ndarray, pj: np.ndarray) -> float:
     return float(np.float32(1.0) / r2)
 
 
+def _inter_forces(pos: np.ndarray, lo: int, hi: int, n: int) -> tuple:
+    """Forces on molecules ``[lo, hi)`` plus their potential-energy sum,
+    vectorized over molecules and the n/2 wrap-around pair offsets.
+
+    Shared by the worker and the sequential reference so both fold
+    float32 identically: every per-pair elementwise operation matches
+    :func:`_pair_force` bit-for-bit, and the per-molecule reduction
+    order depends only on the pair count, not on the caller's block."""
+    k = np.arange(1, n // 2 + 1)
+    i_idx = np.arange(lo, hi)
+    plus = (i_idx[:, None] + k[None, :]) % n
+    minus = (i_idx[:, None] - k[None, :]) % n
+    pi = pos[i_idx][:, None, :]                        # (m, 1, 9)
+    dp = pi - pos[plus]                                # (m, K, 9)
+    r2p = (dp * dp).sum(axis=2) + np.float32(0.1)
+    fp = dp * (np.float32(1.0) / (r2p * r2p))[:, :, None]
+    dm = pos[minus] - pos[i_idx][:, None, :]
+    r2m = (dm * dm).sum(axis=2) + np.float32(0.1)
+    fm = dm * (np.float32(1.0) / (r2m * r2m))[:, :, None]
+    forces = (fp.sum(axis=1) - fm.sum(axis=1)).astype(np.float32)
+    epot = float((np.float32(1.0) / r2p).astype(np.float64).sum())
+    return forces, epot
+
+
+def _inter_read_order(lo: int, hi: int, n: int) -> np.ndarray:
+    """First-touch order of molecule reads in the inter phase: the order
+    the scalar loop's per-molecule position cache would miss in (own
+    molecule first, then alternating +k / -k neighbours)."""
+    k = np.arange(1, n // 2 + 1, dtype=np.int64)
+    # Per-molecule touch sequence [0, +1, -1, +2, -2, ...], flattened
+    # across molecules in loop order; unique-by-first-occurrence yields
+    # the same order a per-touch seen-set would produce.
+    offs = np.empty(1 + 2 * k.shape[0], dtype=np.int64)
+    offs[0] = 0
+    offs[1::2] = k
+    offs[2::2] = -k
+    flat = (np.arange(lo, hi, dtype=np.int64)[:, None] + offs[None, :]) % n
+    _, first = np.unique(flat.reshape(-1), return_index=True)
+    return flat.reshape(-1)[np.sort(first)]
+
+
 @AppRegistry.register
 class Water(Application):
     """SPLASH Water's sharing structure on the simulated DSM."""
@@ -105,43 +146,37 @@ class Water(Application):
             energy.write(proc, 0, np.zeros(16, np.float32))
         proc.barrier()
 
+        rows = np.arange(lo, hi, dtype=np.int64)
         for _ in range(iters):
-            # ---- Intra-molecular phase: update own records in place
-            # (fine-grained per-molecule writes of positions + private
-            # scratch).
-            for i in range(lo, hi):
-                rec = mol.read_row(proc, i)
-                rec[PRIVATE] = rec[PRIVATE] * np.float32(0.99)
-                rec[POS] = rec[POS] + rec[PRIVATE][:9] * np.float32(0.001)
-                proc.compute(flops=3 * REC)
-                mol.write(proc, (i, 0), rec[POS])
-                mol.write(proc, (i, PRIVATE.start), rec[PRIVATE])
+            # ---- Intra-molecular phase: update own records in place.
+            # One bulk gather/scatter per field keeps the per-molecule
+            # access ranges of the scalar loop (read the whole record,
+            # write positions and private scratch separately) while the
+            # arithmetic runs vectorized over the block.
+            block = mol.gather_rows(proc, rows, 0, REC)
+            priv = block[:, PRIVATE] * np.float32(0.99)
+            pos = block[:, POS] + priv[:, :9] * np.float32(0.001)
+            proc.compute(flops=3 * REC * (hi - lo))
+            mol.scatter_rows(proc, rows, pos, 0)
+            mol.scatter_rows(proc, rows, priv, PRIVATE.start)
             proc.barrier()
 
             # ---- Inter-molecular phase: owners accumulate the full
             # force on their own molecules, interacting with the n/2
             # molecules on each side (each pair computed by both
-            # owners).  Positions are read per molecule (fine-grained),
-            # cached locally for the phase as the hardware cache would.
-            cache = {}
-
-            def pos_of(j: int) -> np.ndarray:
-                if j not in cache:
-                    cache[j] = mol.read(proc, (j, 0), 9).copy()
-                return cache[j]
-
-            epot = 0.0
-            for i in range(lo, hi):
-                pi = pos_of(i)
-                f = np.zeros(9, dtype=np.float32)
-                for k in range(1, n // 2 + 1):
-                    f = f + _pair_force(pi, pos_of((i + k) % n))
-                    f = f - _pair_force(pos_of((i - k) % n), pi)
-                    epot += _pair_energy(pi, pos_of((i + k) % n))
-                # The real Water potential costs several hundred flops
-                # per pair (square roots, exponentials, 3x3 atom pairs).
-                proc.compute(flops=2 * 320 * (n // 2))
-                mol.write(proc, (i, FORCE.start), f)
+            # owners).  Positions are still read one molecule at a time
+            # (fine-grained 9-word ranges, as the scalar loop's
+            # per-phase cache would first touch them); the gather order
+            # reproduces that first-touch order exactly so faults and
+            # fetches are unchanged.
+            order = _inter_read_order(lo, hi, n)
+            pos_all = np.empty((n, 9), dtype=np.float32)
+            pos_all[order] = mol.gather_rows(proc, order, 0, 9)
+            forces, epot = _inter_forces(pos_all, lo, hi, n)
+            # The real Water potential costs several hundred flops
+            # per pair (square roots, exponentials, 3x3 atom pairs).
+            proc.compute(flops=2 * 320 * (n // 2) * (hi - lo))
+            mol.scatter_rows(proc, rows, forces, FORCE.start)
 
             # Global potential-energy sum, lock-protected.
             proc.acquire(ENERGY_LOCK)
@@ -154,19 +189,18 @@ class Water(Application):
 
             # ---- Integration: owners fold forces into positions and
             # zero the accumulators for the next timestep.
-            for i in range(lo, hi):
-                rec = mol.read_row(proc, i)
-                rec[POS] = rec[POS] + rec[FORCE] * np.float32(1e-4)
-                rec[FORCE] = np.float32(0.0)
-                proc.compute(flops=2 * REC)
-                mol.write(proc, (i, 0), rec[:FORCE.stop])
+            block = mol.gather_rows(proc, rows, 0, REC)
+            out = block[:, :FORCE.stop].copy()
+            out[:, POS] = out[:, POS] + out[:, FORCE] * np.float32(1e-4)
+            out[:, FORCE] = np.float32(0.0)
+            proc.compute(flops=2 * REC * (hi - lo))
+            mol.scatter_rows(proc, rows, out, 0)
             proc.barrier()
 
-        local = 0.0
-        for i in range(lo, hi):
-            local += float(
-                np.abs(mol.read(proc, (i, 0), 18)).astype(np.float64).sum()
-            )
+        local = float(
+            np.abs(mol.gather_rows(proc, rows, 0, 18))
+            .astype(np.float64).sum()
+        )
         return self.collect_checksum(proc, handles, local)
 
     # ------------------------------------------------------------------
@@ -221,13 +255,9 @@ class Water(Application):
         for _ in range(iters):
             m[:, PRIVATE] = m[:, PRIVATE] * np.float32(0.99)
             m[:, POS] = m[:, POS] + m[:, PRIVATE][:, :9] * np.float32(0.001)
-            forces = np.zeros((n, 9), dtype=np.float32)
-            for i in range(n):
-                f = np.zeros(9, dtype=np.float32)
-                for k in range(1, n // 2 + 1):
-                    f = f + _pair_force(m[i, POS], m[(i + k) % n, POS])
-                    f = f - _pair_force(m[(i - k) % n, POS], m[i, POS])
-                forces[i] = f
+            forces, _ = _inter_forces(
+                np.ascontiguousarray(m[:, POS]), 0, n, n
+            )
             m[:, POS] = m[:, POS] + forces * np.float32(1e-4)
         total = np.abs(m[:, :18]).astype(np.float64).sum()
         return float(total)

@@ -190,6 +190,23 @@ def main(argv=None) -> int:
         "default: the default protocol only)",
     )
     parser.add_argument(
+        "--full",
+        action="store_true",
+        help="widen --check / --refresh-golden with the paper full-size "
+        "datasets (Barnes 32K bodies, Jacobi 512x512; default protocol, "
+        "4K and Dyn units) -- only practical under the bulk fast path",
+    )
+    parser.add_argument(
+        "--access-mode",
+        choices=("bulk", "scalar"),
+        default="bulk",
+        help="region-access decomposition for --check: 'scalar' re-runs "
+        "the gate matrix with every bulk access decomposed into word "
+        "accesses and exact-matches it against the same (bulk-generated) "
+        "baselines -- the scalar-vs-bulk equivalence gate "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--trace-out",
         type=pathlib.Path,
         default=None,
@@ -211,6 +228,11 @@ def main(argv=None) -> int:
             )
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.access_mode != "bulk" and (args.experiments or args.refresh_golden):
+        parser.error(
+            "--access-mode scalar is only meaningful with --check (the "
+            "baselines and experiment tables are defined under bulk mode)"
+        )
 
     apps = args.only.split(",") if args.only else None
     if args.protocols == "all":
@@ -247,14 +269,15 @@ def main(argv=None) -> int:
         if args.refresh_golden:
             written = golden.write_golden(
                 args.golden_dir, apps=apps, jobs=args.jobs,
-                protocols=protocols,
+                protocols=protocols, full=args.full,
             )
             for path in written:
                 print(f"wrote {path}")
         if args.check:
             report = golden.check(
                 args.golden_dir, apps=apps, jobs=args.jobs,
-                protocols=protocols,
+                protocols=protocols, access_mode=args.access_mode,
+                full=args.full,
             )
             print(report.render())
             if not report.ok:

@@ -66,6 +66,14 @@ SMALL_DATASETS = {
 
 GOLDEN_LABELS = ("4K", "8K", "16K", "Dyn")
 
+#: Paper full-size datasets (unscaled problem sizes), only reachable at
+#: simulator speed through the bulk-access fast path.  Opt-in via
+#: ``--full``: they ride in the same per-app baseline files under their
+#: own dataset key, default protocol only, at a reduced label set.
+FULL_DATASETS = {"Barnes": "32K", "Jacobi": "512x512"}
+
+FULL_LABELS = ("4K", "Dyn")
+
 #: Protocols with committed baselines.  The default protocol's files
 #: live at the top of the golden directory exactly as before the
 #: protocol zoo existed (byte-identical paths and content); each other
@@ -82,24 +90,51 @@ def _protocol_extra(protocol: str) -> dict:
     return {} if protocol == DEFAULT_PROTOCOL else {"protocol": protocol}
 
 
+def _cell_extra(protocol: str, access_mode: str = "bulk") -> dict:
+    """Config overrides for one gate cell.  Like the protocol override,
+    the default access mode stays out of the dict so default cells keep
+    their existing cache keys and per-cell seeds.  Scalar cells resolve
+    to distinct cache keys (no aliasing with the bulk results they are
+    compared against); the belt-and-braces global-RNG seed differs too,
+    which is immaterial because every application constructs its own
+    fixed-seed generators."""
+    extra = _protocol_extra(protocol)
+    if access_mode != "bulk":
+        extra["access_mode"] = access_mode
+    return extra
+
+
 def golden_cells(
     apps: Optional[Sequence[str]] = None,
     protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
+    access_mode: str = "bulk",
+    full: bool = False,
 ) -> List[SweepCell]:
-    """The gate's sweep cells, optionally restricted to some apps and
-    widened to extra protocols."""
+    """The gate's sweep cells, optionally restricted to some apps,
+    widened to extra protocols, and/or widened to the paper full-size
+    datasets (``full``)."""
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
     for name in names:
         if name not in SMALL_DATASETS:
             raise KeyError(
                 f"unknown application {name!r}; have {sorted(SMALL_DATASETS)}"
             )
-    return [
-        SweepCell.make(app, SMALL_DATASETS[app], label, **_protocol_extra(p))
+    cells = [
+        SweepCell.make(app, SMALL_DATASETS[app], label,
+                       **_cell_extra(p, access_mode))
         for p in protocols
         for app in names
         for label in GOLDEN_LABELS
     ]
+    if full:
+        cells.extend(
+            SweepCell.make(app, FULL_DATASETS[app], label,
+                           **_cell_extra(DEFAULT_PROTOCOL, access_mode))
+            for app in names
+            if app in FULL_DATASETS
+            for label in FULL_LABELS
+        )
+    return cells
 
 
 def case_snapshot(case: CaseResult) -> Dict[str, object]:
@@ -174,10 +209,18 @@ def write_golden(
     with_micro: bool = True,
     progress=None,
     protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
+    full: bool = False,
 ) -> List[pathlib.Path]:
     """(Re)generate baseline files from the current code; returns the
-    paths written."""
-    cells = golden_cells(apps, protocols)
+    paths written.
+
+    Baseline files are merged per dataset: a refresh that does not run
+    the full-size cells (``full=False``) rewrites the small-dataset
+    entries and leaves a previously committed full-size entry in place
+    (and vice versa), so the two matrices can be refreshed
+    independently.
+    """
+    cells = golden_cells(apps, protocols, full=full)
     run_cells(cells, jobs=jobs, progress=progress)
     golden_dir = pathlib.Path(golden_dir)
     written = []
@@ -186,14 +229,19 @@ def write_golden(
         extra = _protocol_extra(protocol)
         for app in names:
             ds = SMALL_DATASETS[app]
-            entry = {
-                ds: {
-                    label: case_snapshot(
-                        ResultCache.get(app, ds, label, **extra)
-                    )
-                    for label in GOLDEN_LABELS
-                }
+            entry = load_app_golden(golden_dir, app, protocol) or {}
+            entry[ds] = {
+                label: case_snapshot(
+                    ResultCache.get(app, ds, label, **extra)
+                )
+                for label in GOLDEN_LABELS
             }
+            if full and protocol == DEFAULT_PROTOCOL and app in FULL_DATASETS:
+                fds = FULL_DATASETS[app]
+                entry[fds] = {
+                    label: case_snapshot(ResultCache.get(app, fds, label))
+                    for label in FULL_LABELS
+                }
             path = _app_path(golden_dir, app, protocol)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
@@ -258,29 +306,52 @@ def check(
     with_micro: bool = True,
     progress=None,
     protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
+    access_mode: str = "bulk",
+    full: bool = False,
 ) -> CheckReport:
-    """Run the gate matrix and compare every cell against the baselines."""
+    """Run the gate matrix and compare every cell against the baselines.
+
+    ``access_mode="scalar"`` re-runs the matrix with every bulk region
+    access decomposed into word accesses and exact-matches it against
+    the *same* committed baselines (which are generated under the bulk
+    fast path) -- the scalar-vs-bulk equivalence gate.  The micro
+    baselines measure sync primitives directly and are skipped there.
+    ``full`` widens the matrix with the paper full-size datasets.
+    """
     report = CheckReport()
     golden_dir = pathlib.Path(golden_dir)
-    cells = golden_cells(apps, protocols)
+    cells = golden_cells(apps, protocols, access_mode, full=full)
     run_cells(cells, jobs=jobs, progress=progress)
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
-    for protocol in protocols:
-        extra = _protocol_extra(protocol)
+
+    def compare_cell(app, ds, label, protocol, golden_entry):
+        extra = _cell_extra(protocol, access_mode)
         tag = "" if protocol == DEFAULT_PROTOCOL else f" [{protocol}]"
+        where = f"{app}/{ds}@{label}{tag}"
+        case = ResultCache.get(app, ds, label, **extra)
+        report.cells_checked += 1
+        entry = (golden_entry or {}).get(ds, {}).get(label)
+        if entry is None:
+            report.missing.append(where)
+            return
+        report.mismatches.extend(compare_case(where, case, entry))
+
+    for protocol in protocols:
         for app in names:
-            ds = SMALL_DATASETS[app]
             golden = load_app_golden(golden_dir, app, protocol)
             for label in GOLDEN_LABELS:
-                where = f"{app}/{ds}@{label}{tag}"
-                case = ResultCache.get(app, ds, label, **extra)
-                report.cells_checked += 1
-                entry = (golden or {}).get(ds, {}).get(label)
-                if entry is None:
-                    report.missing.append(where)
-                    continue
-                report.mismatches.extend(compare_case(where, case, entry))
-    if with_micro and apps is None and DEFAULT_PROTOCOL in protocols:
+                compare_cell(app, SMALL_DATASETS[app], label, protocol, golden)
+            if full and protocol == DEFAULT_PROTOCOL and app in FULL_DATASETS:
+                for label in FULL_LABELS:
+                    compare_cell(
+                        app, FULL_DATASETS[app], label, protocol, golden
+                    )
+    if (
+        with_micro
+        and apps is None
+        and DEFAULT_PROTOCOL in protocols
+        and access_mode == "bulk"
+    ):
         path = golden_dir / "micro.json"
         measured = micro.snapshot(micro.run_all())
         report.cells_checked += len(measured)

@@ -66,6 +66,37 @@ class Proc:
         ``word0``."""
         self._lrc.write_words(word0, np.ascontiguousarray(values, dtype=np.uint32))
 
+    # The bulk region-access API.  A contiguous region operation is
+    # already resolved analytically per call (one fault check per
+    # touched unit, one clock charge per region), so ``read_range`` /
+    # ``write_range`` are the same operations under their bulk-API
+    # names; ``read_gather`` / ``write_scatter`` extend them to many
+    # equal-length ranges with vectorized data movement (see the bulk
+    # fast path in :class:`repro.dsm.lrc.LrcProc`).
+    read_range = read
+    write_range = write
+
+    def read_gather(self, starts: np.ndarray, nwords: int) -> np.ndarray:
+        """Read ``len(starts)`` shared ranges of ``nwords`` words each as
+        an (nranges, nwords) uint32 array; semantically identical to
+        ``read_range`` per start, in order."""
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        v = self._runtime.access_validator
+        if v is not None:
+            v.check(self.id, "read", starts, nwords)
+        return self._lrc.read_gather(starts, nwords)
+
+    def write_scatter(self, starts: np.ndarray, values: np.ndarray) -> None:
+        """Write an (nranges, nwords) uint32 array to ``len(starts)``
+        shared ranges; semantically identical to ``write_range`` per
+        start, in order."""
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.uint32)
+        v = self._runtime.access_validator
+        if v is not None:
+            v.check(self.id, "write", starts, int(values.shape[-1]))
+        self._lrc.write_scatter(starts, values)
+
     # ------------------------------------------------------------------
     # Synchronization
     # ------------------------------------------------------------------

@@ -13,36 +13,52 @@ uint32, float64, int64, complex64, complex128), matching the paper's
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.proc import Proc
 from repro.dsm.address_space import Allocation, SharedHeapLayout
 from repro.dsm.diff import WORD
 
+#: An element index: flat int for 1-D arrays, or an (i, j, ...) tuple.
+Index = Union[int, Tuple[int, ...]]
+
+#: A shape spec: an int (1-D) or a sequence of ints.
+ShapeLike = Union[int, Sequence[int]]
+
+#: Anything ``np.dtype()`` accepts (name string, dtype, scalar type).
+DTypeLike = Union[str, np.dtype, type]
+
+
+def _as_shape(shape: ShapeLike) -> Tuple[int, ...]:
+    if isinstance(shape, int):
+        return (int(shape),)
+    return tuple(int(s) for s in shape)
+
 
 def alloc_array(
-    layout: SharedHeapLayout, name: str, shape, dtype="float32",
-    page_align: bool = True,
+    layout: SharedHeapLayout, name: str, shape: ShapeLike,
+    dtype: DTypeLike = "float32", page_align: bool = True,
 ) -> "SharedArray":
     """Allocate a typed shared array in ``layout`` (the single shared
     implementation behind :meth:`repro.core.treadmarks.TreadMarks.array`
     and the static analyzer's layout probe, so both resolve identical
     heap addresses for the same ``setup()`` call sequence)."""
-    shape = tuple(int(s) for s in np.atleast_1d(shape)) if not isinstance(
-        shape, tuple
-    ) else shape
+    shp = _as_shape(shape)
     dt = np.dtype(dtype)
-    nbytes = int(np.prod(shape)) * dt.itemsize
+    nbytes = int(np.prod(shp)) * dt.itemsize
     alloc = layout.malloc(name, nbytes, page_align=page_align)
-    return SharedArray(alloc, shape, dt)
+    return SharedArray(alloc, shp, dt)
 
 
 class SharedArray:
     """A C-ordered shared array living in the DSM heap."""
 
-    def __init__(self, alloc: Allocation, shape: Tuple[int, ...], dtype) -> None:
+    def __init__(
+        self, alloc: Allocation, shape: Tuple[int, ...], dtype: DTypeLike
+    ) -> None:
         self.alloc = alloc
         self.shape = tuple(int(s) for s in shape)
         self.dtype = np.dtype(dtype)
@@ -68,7 +84,7 @@ class SharedArray:
             raise IndexError(f"flat index {flat_index} out of {self.size}")
         return self.alloc.word_offset + flat_index * self.words_per_elem
 
-    def _flatten(self, index) -> int:
+    def _flatten(self, index: Index) -> int:
         """Flat element index of an (i, j, ...) tuple or int."""
         if isinstance(index, int):
             if len(self.shape) != 1:
@@ -79,28 +95,122 @@ class SharedArray:
     # ------------------------------------------------------------------
     # Element / block access
     # ------------------------------------------------------------------
-    def read(self, proc: Proc, start, count: int = 1) -> np.ndarray:
+    def read(self, proc: Proc, start: Index, count: int = 1) -> np.ndarray:
         """Read ``count`` contiguous elements starting at ``start`` (an
         int for 1-D arrays or an index tuple); returns a 1-D ndarray of
         the array's dtype."""
-        flat = self._flatten(start)
-        if flat + count > self.size:
+        flat = start if isinstance(start, int) and len(self.shape) == 1 \
+            else self._flatten(start)
+        if flat < 0 or flat + count > self.size:
             raise IndexError(
                 f"read of {count} elements at flat {flat} exceeds size {self.size}"
             )
-        raw = proc.read(self.word_offset(flat), count * self.words_per_elem)
+        wpe = self.words_per_elem
+        raw = proc.read(self.alloc.word_offset + flat * wpe, count * wpe)
         return raw.view(self.dtype)
 
-    def write(self, proc: Proc, start, values) -> None:
+    def write(self, proc: Proc, start: Index, values: ArrayLike) -> None:
         """Write contiguous elements starting at ``start``."""
         vals = np.ascontiguousarray(values, dtype=self.dtype).ravel()
-        flat = self._flatten(start)
-        if flat + vals.size > self.size:
+        flat = start if isinstance(start, int) and len(self.shape) == 1 \
+            else self._flatten(start)
+        if flat < 0 or flat + vals.size > self.size:
             raise IndexError(
                 f"write of {vals.size} elements at flat {flat} exceeds "
                 f"size {self.size}"
             )
-        proc.write(self.word_offset(flat), vals.view(np.uint32))
+        wpe = self.words_per_elem
+        proc.write(self.alloc.word_offset + flat * wpe, vals.view(np.uint32))
+
+    # ------------------------------------------------------------------
+    # Bulk gather / scatter (many equal-length element ranges per call,
+    # routed through the Proc bulk-access API)
+    # ------------------------------------------------------------------
+    def gather(
+        self, proc: Proc, starts: ArrayLike, count: int = 1
+    ) -> np.ndarray:
+        """Read ``count`` contiguous elements at each flat element index
+        in ``starts``; returns an (nranges, count) ndarray of the
+        array's dtype.  Semantically a loop of :meth:`read` calls, in
+        order."""
+        s = np.ascontiguousarray(starts, dtype=np.int64)
+        if s.size and (
+            int(s.min()) < 0 or int(s.max()) + count > self.size
+        ):
+            raise IndexError(
+                f"gather of {count}-element ranges exceeds "
+                f"{self.alloc.name!r} size {self.size}"
+            )
+        wpe = self.words_per_elem
+        raw = proc.read_gather(
+            self.alloc.word_offset + s * wpe, count * wpe
+        )
+        return raw.view(self.dtype).reshape(s.shape[0], count)
+
+    def scatter(
+        self, proc: Proc, starts: ArrayLike, values: ArrayLike
+    ) -> None:
+        """Write an (nranges, count) block of elements at each flat
+        element index in ``starts``.  Semantically a loop of
+        :meth:`write` calls, in order."""
+        s = np.ascontiguousarray(starts, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
+        if vals.ndim != 2 or vals.shape[0] != s.shape[0]:
+            raise ValueError(
+                f"scatter needs (nranges, count) values matching "
+                f"{s.shape[0]} starts, got shape {vals.shape}"
+            )
+        if s.size and (
+            int(s.min()) < 0
+            or int(s.max()) + vals.shape[1] > self.size
+        ):
+            raise IndexError(
+                f"scatter of {vals.shape[1]}-element ranges exceeds "
+                f"{self.alloc.name!r} size {self.size}"
+            )
+        proc.write_scatter(
+            self.alloc.word_offset + s * self.words_per_elem,
+            vals.view(np.uint32),
+        )
+
+    def gather_rows(
+        self, proc: Proc, rows: ArrayLike, col0: int = 0,
+        ncols: int | None = None,
+    ) -> np.ndarray:
+        """Read the column window ``[col0, col0+ncols)`` of each row in
+        ``rows`` of a 2-D array (one gather range per row)."""
+        self._check_2d()
+        ncols = self.shape[1] - col0 if ncols is None else ncols
+        r = np.ascontiguousarray(rows, dtype=np.int64)
+        self._check_row_window(r, col0, ncols)
+        return self.gather(proc, r * self.shape[1] + col0, ncols)
+
+    def scatter_rows(
+        self, proc: Proc, rows: ArrayLike, values: ArrayLike, col0: int = 0
+    ) -> None:
+        """Write an (nrows, ncols) block into the column window starting
+        at ``col0`` of each row in ``rows`` of a 2-D array."""
+        self._check_2d()
+        r = np.ascontiguousarray(rows, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
+        if vals.ndim != 2:
+            raise ValueError(f"scatter_rows needs 2-D values, got {vals.shape}")
+        self._check_row_window(r, col0, vals.shape[1])
+        self.scatter(proc, r * self.shape[1] + col0, vals)
+
+    def _check_row_window(self, rows: np.ndarray, col0: int, ncols: int) -> None:
+        if rows.size and (
+            int(rows.min()) < 0 or int(rows.max()) >= self.shape[0]
+        ):
+            raise IndexError(
+                f"row index out of range for {self.alloc.name!r} with "
+                f"{self.shape[0]} rows"
+            )
+        if col0 < 0 or ncols <= 0 or col0 + ncols > self.shape[1]:
+            raise IndexError(
+                f"column window [{col0}, {col0 + ncols}) outside "
+                f"{self.shape[1]} columns of {self.alloc.name!r}"
+            )
 
     # ------------------------------------------------------------------
     # Row helpers for 2-D arrays (C order: a row is contiguous)
@@ -110,7 +220,7 @@ class SharedArray:
         self._check_2d()
         return self.read(proc, (i, 0), self.shape[1])
 
-    def write_row(self, proc: Proc, i: int, values) -> None:
+    def write_row(self, proc: Proc, i: int, values: ArrayLike) -> None:
         """Write row ``i`` of a 2-D array."""
         self._check_2d()
         self.write(proc, (i, 0), values)
@@ -122,7 +232,7 @@ class SharedArray:
         n = (i1 - i0) * self.shape[1]
         return self.read(proc, (i0, 0), n).reshape(i1 - i0, self.shape[1])
 
-    def write_rows(self, proc: Proc, i0: int, values) -> None:
+    def write_rows(self, proc: Proc, i0: int, values: ArrayLike) -> None:
         """Write consecutive rows starting at ``i0`` (one contiguous
         shared access)."""
         self._check_2d()

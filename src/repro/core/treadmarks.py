@@ -7,11 +7,10 @@ one application, and read the returned :class:`RunResult`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
-
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.proc import Proc
-from repro.core.shared import SharedArray, alloc_array
+from repro.core.shared import DTypeLike, ShapeLike, SharedArray, alloc_array
 from repro.dsm.address_space import Allocation, SharedHeapLayout
 from repro.dsm.aggregation import make_aggregator
 from repro.dsm.intervals import IntervalStore
@@ -26,6 +25,9 @@ from repro.sim.network import Network
 from repro.stats.counters import ProtocolStats
 from repro.stats.report import RunResult, build_result
 from repro.trace.recorder import TraceRecorder
+
+if TYPE_CHECKING:
+    from repro.core.validate import BulkAccessValidator
 
 
 class TreadMarks:
@@ -91,6 +93,11 @@ class TreadMarks:
             lp.aggregator = make_aggregator(lp)
         self.sync = SyncManager(config, self.network, self.procs, self.stats)
         self.sync.trace = self.trace
+        self.access_validator: Optional["BulkAccessValidator"] = None
+        """Optional :class:`repro.core.validate.BulkAccessValidator`
+        attached by :func:`repro.apps.base.run_app` when bulk-access
+        validation is requested; consulted (observer-only) by the Proc
+        bulk entry points."""
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -101,7 +108,8 @@ class TreadMarks:
         return self.layout.malloc(name, nbytes, page_align=page_align)
 
     def array(
-        self, name: str, shape, dtype="float32", page_align: bool = True
+        self, name: str, shape: ShapeLike, dtype: DTypeLike = "float32",
+        page_align: bool = True,
     ) -> SharedArray:
         """Allocate a typed shared array in the heap."""
         return alloc_array(self.layout, name, shape, dtype, page_align)

@@ -1,0 +1,89 @@
+"""Runtime validation of declared access patterns against bulk calls.
+
+:meth:`repro.apps.base.Application.access_pattern` declarations are the
+contract the bulk-access ports were written against: an app's gathers
+and scatters must stay inside the element ranges it declared to the
+static analyzer.  When validation is enabled
+(``run_app(..., validate_access=True)``), every bulk call a processor
+issues through :meth:`repro.core.proc.Proc.read_gather` /
+:meth:`~repro.core.proc.Proc.write_scatter` is checked against the
+union of that processor's declared accesses of the same operation
+(``must`` and ``may`` alike, across all phases); a range outside the
+declaration raises :class:`AccessDeclarationError` naming the offender.
+
+The check deliberately unions over phases rather than aligning phase to
+barrier epoch: lock-delimited interval boundaries (TSP's queue, Water's
+energy lock) make a per-epoch alignment ill-defined for lock-using
+apps, and phase *placement* of ``must`` accesses is already validated
+dynamically by the analyzer crosscheck (``repro.analyze.crosscheck``).
+What this validator adds is the complementary direction: no bulk access
+may exist that the declaration does not cover at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.analyze.access import AccessPattern
+
+
+class AccessDeclarationError(AssertionError):
+    """A bulk access fell outside the application's declared pattern."""
+
+
+def _merged_intervals(
+    spans: List[Tuple[int, int]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Coalesce [w0, w1) spans into disjoint sorted (lo, hi) arrays."""
+    spans.sort()
+    lo: List[int] = []
+    hi: List[int] = []
+    for w0, w1 in spans:
+        if lo and w0 <= hi[-1]:
+            hi[-1] = max(hi[-1], w1)
+        else:
+            lo.append(w0)
+            hi.append(w1)
+    return np.asarray(lo, dtype=np.int64), np.asarray(hi, dtype=np.int64)
+
+
+class BulkAccessValidator:
+    """Checks bulk gather/scatter ranges against a declared pattern."""
+
+    def __init__(self, pattern: "AccessPattern") -> None:
+        self.pattern = pattern
+        grouped: Dict[Tuple[int, str], List[Tuple[int, int]]] = {}
+        for phase in pattern.phases:
+            for a in phase.accesses:
+                grouped.setdefault((a.proc, a.op), []).append(
+                    (a.word0, a.word1)
+                )
+        self._cover: Dict[Tuple[int, str], Tuple[np.ndarray, np.ndarray]] = {
+            key: _merged_intervals(spans) for key, spans in grouped.items()
+        }
+
+    def check(self, proc: int, op: str, starts: np.ndarray, nwords: int) -> None:
+        """Raise unless every range ``[s, s+nwords)`` lies inside one of
+        the declared ``op`` intervals of processor ``proc``."""
+        if starts.size == 0 or nwords <= 0:
+            return
+        cover = self._cover.get((proc, op))
+        if cover is None:
+            raise AccessDeclarationError(
+                f"{self.pattern.app}: proc {proc} issued a bulk {op} but "
+                f"declares no {op} accesses at all"
+            )
+        lo, hi = cover
+        pos = np.searchsorted(lo, starts, side="right") - 1
+        ok = (pos >= 0) & (starts + nwords <= hi[np.maximum(pos, 0)])
+        if bool(ok.all()):
+            return
+        bad = int(starts[np.argmin(ok)])
+        raise AccessDeclarationError(
+            f"{self.pattern.app}: proc {proc} bulk {op} of words "
+            f"[{bad}, {bad + nwords}) is outside the declared access "
+            f"pattern ({len(lo)} declared {op} interval(s))"
+        )

@@ -157,3 +157,17 @@ class AddressSpace:
     def write_words(self, word0: int, values: np.ndarray) -> None:
         """Overwrite a word range with uint32 bit patterns."""
         self.words[word0 : word0 + values.shape[0]] = values
+
+    def gather(self, starts: np.ndarray, nwords: int) -> np.ndarray:
+        """Copy of ``len(starts)`` equal-length word ranges as one
+        (nranges, nwords) array -- one fancy-indexed read instead of a
+        Python loop of range copies."""
+        idx = starts[:, None] + np.arange(nwords, dtype=np.int64)[None, :]
+        return self.words[idx]
+
+    def scatter(self, starts: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite ``len(starts)`` equal-length word ranges from a
+        (nranges, nwords) array.  With duplicate or overlapping ranges
+        the later row wins, matching a sequential loop of range writes."""
+        idx = starts[:, None] + np.arange(values.shape[1], dtype=np.int64)[None, :]
+        self.words[idx] = values

@@ -19,7 +19,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.dsm.lrc import LrcProc
 
@@ -32,6 +34,24 @@ class Aggregator:
         """Make every unit overlapped by the access valid, faulting and
         fetching as the strategy dictates."""
         raise NotImplementedError
+
+    def ready(self, units) -> bool:
+        """True when :meth:`ensure_valid` over every unit in ``units`` is
+        a guaranteed no-op (no fault, no monitoring fault, no state
+        change) -- the bulk fast path's precondition.  ``units`` is an
+        iterable of unit indices; a conservative ``False`` is always
+        safe (the caller falls back to the word-loop reference path)."""
+        raise NotImplementedError
+
+    def dirty_units(self) -> Optional[np.ndarray]:
+        """Bool array over units, True exactly where :meth:`ensure_valid`
+        may do work right now.  Units flagged False must stay no-ops for
+        the rest of the current gather/scatter (faults only shrink the
+        pending set and only validate pages, never the reverse), which
+        lets the bulk middle tier skip their per-range calls wholesale.
+        ``None`` means the strategy cannot provide the mask and the
+        caller must invoke :meth:`ensure_valid` per range."""
+        return None
 
     def on_sync(self) -> None:
         """Called at every synchronization operation (after the interval
@@ -46,16 +66,34 @@ class StaticAggregator(Aggregator):
 
     def __init__(self, proc: LrcProc) -> None:
         self.proc = proc
+        self._wpu = proc.layout.words_per_unit
 
     def ensure_valid(self, word0: int, nwords: int) -> None:
         proc = self.proc
-        for unit in proc.layout.units_of_range(word0, nwords):
-            if proc.pending.get(unit):
+        pending = proc.pending
+        if not pending:
+            return
+        wpu = self._wpu
+        for unit in range(word0 // wpu, (word0 + nwords - 1) // wpu + 1):
+            if pending.get(unit):
                 # Each invalid unit is a separate access miss: with a
                 # static unit there is no cross-unit combining, so a
                 # region spanning two invalid units pays two sequential
                 # fetches (the paper's "requested in sequence" case).
                 proc.fetch([unit])
+
+    def ready(self, units) -> bool:
+        pending = self.proc.pending
+        if not pending:
+            return True
+        return not any(pending.get(u) for u in units)
+
+    def dirty_units(self) -> Optional[np.ndarray]:
+        dirty = np.zeros(self.proc.layout.nunits, dtype=bool)
+        for unit, diffs in self.proc.pending.items():
+            if diffs:
+                dirty[unit] = True
+        return dirty
 
 
 class DynamicAggregator(Aggregator):
@@ -94,6 +132,18 @@ class DynamicAggregator(Aggregator):
         for page in proc.layout.units_of_range(word0, nwords):
             if proc.pending.get(page) or not self.access_valid[page]:
                 self._fault(page)
+
+    def ready(self, units) -> bool:
+        pending = self.proc.pending
+        valid = self.access_valid
+        return all(valid[u] and not pending.get(u) for u in units)
+
+    def dirty_units(self) -> Optional[np.ndarray]:
+        dirty = ~np.asarray(self.access_valid, dtype=bool)
+        for page, diffs in self.proc.pending.items():
+            if diffs:
+                dirty[page] = True
+        return dirty
 
     def _fault(self, page: int) -> None:
         proc = self.proc

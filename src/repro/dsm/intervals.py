@@ -48,7 +48,7 @@ class Interval:
         return self.diffs[unit]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteNotice:
     """An invalidation token: interval (proc, index) wrote ``unit``."""
 

@@ -28,6 +28,7 @@ an aggregation strategy from :mod:`repro.dsm.aggregation`.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -72,7 +73,9 @@ class LrcProc:
         self.stats = stats
         self.clock = clock
         self.space = AddressSpace(layout)
-        self.tracker = WordTracker(layout.nwords, credit)
+        self.tracker = WordTracker(
+            layout.nwords, credit, unit_words=layout.words_per_unit
+        )
         self.vc = VectorClock(config.nprocs)
         self.pending: Dict[int, List[WriteNotice]] = {}
         self.twins: Dict[int, np.ndarray] = {}
@@ -91,6 +94,12 @@ class LrcProc:
         """Optional :class:`repro.trace.recorder.TraceRecorder` attached
         by the runtime.  All hooks below are observer-only: they never
         advance the clock or touch protocol state."""
+        # Hot-path locals: the access path runs once per shared access,
+        # so the per-access cost constants are cached off the config.
+        self._region_op_us = config.region_op_us
+        self._word_access_us = config.word_access_us
+        self._wpu = layout.words_per_unit
+        self._heap_words = layout.nwords
 
     # ------------------------------------------------------------------
     # Application access path
@@ -98,13 +107,15 @@ class LrcProc:
     def read_words(self, word0: int, nwords: int) -> np.ndarray:
         """Shared read of a word range: fault if needed, resolve word
         usefulness, charge access time, return the raw words."""
-        self._check_range(word0, nwords)
+        if word0 < 0 or nwords <= 0 or word0 + nwords > self._heap_words:
+            self._check_range(word0, nwords)
         self.aggregator.ensure_valid(word0, nwords)
         if self.trace is not None:
             self.trace.on_access(self.pid, self.clock.now, "read", word0, nwords)
         self.tracker.on_read(word0, nwords)
-        self.clock.advance(
-            self.config.region_op_us + nwords * self.config.word_access_us
+        clock = self.clock
+        clock.now = clock.now + (
+            self._region_op_us + nwords * self._word_access_us
         )
         return self.space.read_words(word0, nwords)
 
@@ -112,17 +123,21 @@ class LrcProc:
         """Shared write of a word range: fault if needed, twin the
         covered units on first write, install the values."""
         nwords = int(values.shape[0])
-        self._check_range(word0, nwords)
+        if word0 < 0 or nwords <= 0 or word0 + nwords > self._heap_words:
+            self._check_range(word0, nwords)
         self.aggregator.ensure_valid(word0, nwords)
-        for unit in self.layout.units_of_range(word0, nwords):
-            if unit not in self.twins:
+        twins = self.twins
+        wpu = self._wpu
+        for unit in range(word0 // wpu, (word0 + nwords - 1) // wpu + 1):
+            if unit not in twins:
                 self._make_twin(unit)
         if self.trace is not None:
             self.trace.on_access(self.pid, self.clock.now, "write", word0, nwords)
         self.tracker.on_write(word0, nwords)
         self.space.write_words(word0, values)
-        self.clock.advance(
-            self.config.region_op_us + nwords * self.config.word_access_us
+        clock = self.clock
+        clock.now = clock.now + (
+            self._region_op_us + nwords * self._word_access_us
         )
 
     def _check_range(self, word0: int, nwords: int) -> None:
@@ -131,6 +146,404 @@ class LrcProc:
                 f"shared access [{word0}, {word0 + nwords}) outside heap "
                 f"of {self.layout.nwords} words"
             )
+
+    # ------------------------------------------------------------------
+    # Bulk access path (gather / scatter)
+    # ------------------------------------------------------------------
+    # ``read_gather`` / ``write_scatter`` are *semantically defined* as a
+    # loop of :meth:`read_words` / :meth:`write_words` over equal-length
+    # word ranges, in order (the reference path, forced by
+    # ``config.access_mode == "scalar"``).  When the bulk fast path can
+    # prove the loop would neither fault nor change aggregation state
+    # (:meth:`Aggregator.ready` over the touched units, plus the
+    # protocol's own :meth:`_bulk_write_ready`), it charges the clock
+    # with the *identical sequence of float additions* folded in one
+    # step, performs twin bookkeeping in the same first-touch order, and
+    # moves all data with one vectorized gather/scatter.  Any
+    # uncertainty -- a pending unit, an access-invalid page, a non-owned
+    # unit under single-writer invalidate, an out-of-bounds range --
+    # falls back to the reference loop, which faults (or raises) exactly
+    # where a scalar program would.  ``tests/equivalence/`` asserts the
+    # two paths are bit-identical in every counter, checksum, and trace
+    # event across all applications and protocols.
+
+    def read_gather(self, starts: np.ndarray, nwords: int) -> np.ndarray:
+        """Bulk read of ``len(starts)`` word ranges of ``nwords`` words
+        each; returns an (nranges, nwords) uint32 array.  Equivalent to
+        calling :meth:`read_words` once per range, in order."""
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        n = int(starts.shape[0])
+        if n == 0:
+            return np.empty((0, max(nwords, 0)), dtype=np.uint32)
+        if self._bulk_ready_units(starts, nwords, write=False) is None:
+            out = self._read_gather_mid(starts, nwords)
+            if out is not None:
+                return out
+            return self._read_gather_ref(starts, nwords)
+        per = self._region_op_us + nwords * self._word_access_us
+        trace = self.trace
+        if trace is None:
+            if not self.tracker.pending_count():
+                self.clock.advance_to(self._fold_end(n, per))
+                return self.space.gather(starts, nwords)
+            # Pending words among valid units: resolve them in one
+            # batched pass (exact for disjoint ranges -- each word is
+            # credited at most once and totals are additive).
+            idx = self._mid_tier_ranges(starts, nwords)
+            if idx is not None:
+                self.clock.advance_to(self._fold_end(n, per))
+                self.tracker.resolve_read(idx.reshape(-1))
+                return self.space.gather(starts, nwords)
+        tracker, clock = self.tracker, self.clock
+        for i in range(n):
+            w0 = int(starts[i])
+            if trace is not None:
+                trace.on_access(self.pid, clock.now, "read", w0, nwords)
+            tracker.on_read(w0, nwords)
+            clock.advance(per)
+        return self.space.gather(starts, nwords)
+
+    def write_scatter(self, starts: np.ndarray, values: np.ndarray) -> None:
+        """Bulk write of ``len(starts)`` word ranges from a (nranges,
+        nwords) uint32 array.  Equivalent to calling :meth:`write_words`
+        once per range, in order."""
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.uint32)
+        if values.ndim != 2 or values.shape[0] != starts.shape[0]:
+            raise ValueError(
+                f"write_scatter needs (nranges, nwords) values matching "
+                f"{starts.shape[0]} starts, got shape {values.shape}"
+            )
+        n, nwords = int(values.shape[0]), int(values.shape[1])
+        if n == 0:
+            return
+        touched = self._bulk_ready_units(starts, nwords, write=True)
+        if touched is None:
+            if not self._write_scatter_mid(starts, values):
+                self._write_scatter_ref(starts, values)
+            return
+        per = self._region_op_us + nwords * self._word_access_us
+        trace = self.trace
+        if trace is None:
+            pend = self.tracker.pending_count()
+            prep = self._bulk_write_prep_needed(touched)
+            if not pend and not prep:
+                self.clock.advance_to(self._fold_end(n, per))
+                self.space.scatter(starts, values)
+                return
+            idx = self._mid_tier_ranges(starts, nwords)
+            if idx is not None:
+                # Batched tier: fold the clock over runs of ranges whose
+                # units are already twinned, run the per-range prep (and
+                # its clock charges) only where a first write occurs,
+                # and clear overwritten pending words in one pass.  The
+                # touched units are ``ready`` here, so twinning is the
+                # only per-range work -- and a range's prep twins its
+                # units, letting every later range over them fold.
+                if not prep:
+                    self.clock.advance_to(self._fold_end(n, per))
+                else:
+                    twins = self.twins
+                    wpu = self._wpu
+                    span = nwords - 1
+                    run = 0
+                    for w0 in starts.tolist():
+                        u0 = w0 // wpu
+                        u1 = (w0 + span) // wpu
+                        if all(
+                            u in twins for u in range(u0, u1 + 1)
+                        ):
+                            run += 1
+                            continue
+                        if run:
+                            self.clock.advance_to(
+                                self._fold_end(run, per)
+                            )
+                            run = 0
+                        self._bulk_write_prep(w0, nwords)
+                        self.clock.advance(per)
+                    if run:
+                        self.clock.advance_to(self._fold_end(run, per))
+                if pend:
+                    self.tracker.resolve_write(idx.reshape(-1))
+                self.space.scatter(starts, values)
+                return
+        tracker, clock = self.tracker, self.clock
+        for i in range(n):
+            w0 = int(starts[i])
+            self._bulk_write_prep(w0, nwords)
+            if trace is not None:
+                trace.on_access(self.pid, clock.now, "write", w0, nwords)
+            tracker.on_write(w0, nwords)
+            clock.advance(per)
+        # Deferring the data movement behind the bookkeeping loop is
+        # exact: a unit is always twinned at its first touch within the
+        # scatter, before any of the scatter's rows have modified it.
+        self.space.scatter(starts, values)
+
+    def _read_gather_ref(self, starts: np.ndarray, nwords: int) -> np.ndarray:
+        out = np.empty((starts.shape[0], nwords), dtype=np.uint32)
+        for i in range(starts.shape[0]):
+            out[i] = self.read_words(int(starts[i]), nwords)
+        return out
+
+    def _write_scatter_ref(self, starts: np.ndarray, values: np.ndarray) -> None:
+        for i in range(starts.shape[0]):
+            self.write_words(int(starts[i]), values[i])
+
+    # The *middle tier* handles gathers/scatters that the pure fast path
+    # must refuse (pending fetches among the touched units): it keeps
+    # the reference loop's exact per-range fault resolution and clock
+    # charges -- ``ensure_valid`` then ``advance`` per range, in order,
+    # the identical float sequence -- but batches the word-usefulness
+    # resolution and the data movement into one vectorized pass at the
+    # end.  That batching is exact because the ranges are pairwise
+    # disjoint (checked) and a range's words cannot change state after
+    # its own ``ensure_valid``: the first touch of a unit drains its
+    # pending diffs, and later faults apply diffs only to *their* units,
+    # so each word's owner tag and value are already final when its
+    # range's turn has passed.  Tracing forces the reference loop (trace
+    # events carry per-range timestamps sampled mid-loop), as does any
+    # protocol that overrides the scalar access method itself.
+
+    def _mid_tier_ranges(
+        self, starts: np.ndarray, nwords: int
+    ) -> Optional[np.ndarray]:
+        """Flat word indices for a middle-tier pass, or None if the
+        gather/scatter does not qualify (bounds, overlap, tracing)."""
+        if self.config.access_mode != "bulk" or nwords <= 0:
+            return None
+        if self.trace is not None:
+            return None
+        if int(starts.min()) < 0:
+            return None
+        if int(starts.max()) + nwords > self.layout.nwords:
+            return None
+        if starts.shape[0] > 1:
+            s = np.sort(starts)
+            if int(np.diff(s).min()) < nwords:
+                return None  # overlapping ranges: replay word by word
+        return starts[:, None] + np.arange(nwords, dtype=np.int64)[None, :]
+
+    def _mid_dirty_arr(
+        self, need_twins: bool
+    ) -> Optional[np.ndarray]:
+        """Bool per unit: True where the per-range bookkeeping (fault
+        resolution, first-write twinning) may still do work.  Clean
+        units are exact no-ops apart from their clock charge -- and
+        *stay* clean for the rest of the pass, because faults only
+        shrink the pending set, pages only become access-valid, and
+        twins only accumulate.  The middle-tier loops exploit the same
+        monotonicity in the other direction: a dirty unit stays dirty
+        until the pass's *own first range over it* runs (a fetch only
+        drains other units' pending as a dynamic-aggregation group
+        member, which leaves them access-invalid, hence still dirty),
+        so the work positions are exactly the first-touch ranges of the
+        initially dirty units.  None when the aggregator cannot provide
+        its dirty-unit mask."""
+        dirty = self.aggregator.dirty_units()
+        if dirty is None:
+            return None
+        if need_twins:
+            untwinned = np.ones(self.layout.nunits, dtype=bool)
+            if self.twins:
+                untwinned[list(self.twins.keys())] = False
+            dirty = dirty | untwinned
+        return dirty
+
+    @staticmethod
+    def _mid_first_touch(u0s: np.ndarray, dirty: np.ndarray) -> List[int]:
+        """Positions of the first range over each dirty unit, in range
+        order (every range single-unit): exactly where the reference
+        loop's ``ensure_valid`` (and first-write twinning) does work --
+        see :meth:`_mid_dirty_arr` for why later ranges are no-ops."""
+        uniq, first_idx = np.unique(u0s, return_index=True)
+        sel = first_idx[dirty[uniq]]
+        sel.sort()
+        return sel.tolist()
+
+    def _read_gather_mid(
+        self, starts: np.ndarray, nwords: int
+    ) -> Optional[np.ndarray]:
+        if type(self).read_words is not LrcProc.read_words:
+            return None
+        idx = self._mid_tier_ranges(starts, nwords)
+        if idx is None:
+            return None
+        per = self._region_op_us + nwords * self._word_access_us
+        n = int(starts.shape[0])
+        ensure = self.aggregator.ensure_valid
+        advance = self.clock.advance
+        dirty = self._mid_dirty_arr(need_twins=False)
+        if dirty is None:
+            for w0 in starts.tolist():
+                ensure(w0, nwords)
+                advance(per)
+        else:
+            wpu = self._wpu
+            u0s = starts // wpu
+            u1s = (starts + (nwords - 1)) // wpu
+            if np.array_equal(u0s, u1s):
+                # Single-unit ranges: the work positions are known up
+                # front (first touch of each dirty unit); runs of
+                # no-op ranges between them charge their clock in one
+                # fold -- the same sequential float additions.
+                pos = 0
+                for i in self._mid_first_touch(u0s, dirty):
+                    if i > pos:
+                        self.clock.advance_to(self._fold_end(i - pos, per))
+                    ensure(int(starts[i]), nwords)
+                    advance(per)
+                    pos = i + 1
+                if n > pos:
+                    self.clock.advance_to(self._fold_end(n - pos, per))
+            else:
+                # Unit-straddling ranges: walk in order, flipping a
+                # range's units clean after its own ensure so later
+                # ranges over them fold.
+                dl = dirty.tolist()
+                run = 0
+                for i, w0 in enumerate(starts.tolist()):
+                    u0 = int(u0s[i])
+                    u1 = int(u1s[i])
+                    if not (dl[u0] if u1 == u0 else True in dl[u0:u1 + 1]):
+                        run += 1
+                        continue
+                    if run:
+                        self.clock.advance_to(self._fold_end(run, per))
+                        run = 0
+                    ensure(w0, nwords)
+                    for u in range(u0, u1 + 1):
+                        dl[u] = False
+                    advance(per)
+                if run:
+                    self.clock.advance_to(self._fold_end(run, per))
+        self.tracker.resolve_read(idx.reshape(-1))
+        return self.space.words[idx]
+
+    def _write_scatter_mid(
+        self, starts: np.ndarray, values: np.ndarray
+    ) -> bool:
+        if type(self).write_words is not LrcProc.write_words:
+            return False
+        nwords = int(values.shape[1])
+        idx = self._mid_tier_ranges(starts, nwords)
+        if idx is None:
+            return False
+        per = self._region_op_us + nwords * self._word_access_us
+        n = int(starts.shape[0])
+        ensure = self.aggregator.ensure_valid
+        advance = self.clock.advance
+        twins = self.twins
+        wpu = self._wpu
+        span = nwords - 1
+        dirty = self._mid_dirty_arr(need_twins=True)
+        if dirty is None:
+            for w0 in starts.tolist():
+                ensure(w0, nwords)
+                for unit in range(w0 // wpu, (w0 + span) // wpu + 1):
+                    if unit not in twins:
+                        self._make_twin(unit)
+                advance(per)
+        else:
+            u0s = starts // wpu
+            u1s = (starts + span) // wpu
+            if np.array_equal(u0s, u1s):
+                pos = 0
+                for i in self._mid_first_touch(u0s, dirty):
+                    if i > pos:
+                        self.clock.advance_to(self._fold_end(i - pos, per))
+                    w0 = int(starts[i])
+                    ensure(w0, nwords)
+                    unit = int(u0s[i])
+                    if unit not in twins:
+                        self._make_twin(unit)
+                    advance(per)
+                    pos = i + 1
+                if n > pos:
+                    self.clock.advance_to(self._fold_end(n - pos, per))
+            else:
+                dl = dirty.tolist()
+                run = 0
+                for i, w0 in enumerate(starts.tolist()):
+                    u0 = int(u0s[i])
+                    u1 = int(u1s[i])
+                    if not (dl[u0] if u1 == u0 else True in dl[u0:u1 + 1]):
+                        run += 1
+                        continue
+                    if run:
+                        self.clock.advance_to(self._fold_end(run, per))
+                        run = 0
+                    ensure(w0, nwords)
+                    for unit in range(u0, u1 + 1):
+                        if unit not in twins:
+                            self._make_twin(unit)
+                        dl[unit] = False
+                    advance(per)
+                if run:
+                    self.clock.advance_to(self._fold_end(run, per))
+        self.tracker.resolve_write(idx.reshape(-1))
+        self.space.words[idx] = values
+        return True
+
+    def _bulk_ready_units(
+        self, starts: np.ndarray, nwords: int, write: bool
+    ) -> Optional[List[int]]:
+        """The units a gather/scatter touches, if the fast path may run;
+        None forces the reference loop.  The returned list may be a
+        conservative superset when individual ranges span more than two
+        units (safe: extra units can only veto the fast path)."""
+        if self.config.access_mode != "bulk" or nwords <= 0:
+            return None
+        if int(starts.min()) < 0:
+            return None
+        last = starts + (nwords - 1)
+        if int(last.max()) >= self.layout.nwords:
+            return None
+        wpu = self.layout.words_per_unit
+        u0 = starts // wpu
+        u1 = last // wpu
+        if int((u1 - u0).max()) <= 1:
+            touched = np.unique(np.concatenate((u0, u1))).tolist()
+        else:
+            touched = list(range(int(u0.min()), int(u1.max()) + 1))
+        if not self.aggregator.ready(touched):
+            return None
+        if write and not self._bulk_write_ready(touched):
+            return None
+        return touched
+
+    def _bulk_write_ready(self, units: List[int]) -> bool:
+        """Protocol veto for the scatter fast path.  The base multiple-
+        writer protocols (tm-lrc, hlrc, erc) handle first-write twinning
+        inside the bookkeeping loop, so any valid span is ready; the
+        single-writer protocol overrides this to require exclusive
+        ownership (otherwise its per-unit ownership acquisition must run
+        on the reference path)."""
+        return True
+
+    def _bulk_write_prep_needed(self, units: List[int]) -> bool:
+        """Whether :meth:`_bulk_write_prep` would do anything for a
+        scatter over ``units`` (conservative True is safe)."""
+        twins = self.twins
+        return any(u not in twins for u in units)
+
+    def _bulk_write_prep(self, word0: int, nwords: int) -> None:
+        """Per-range first-write bookkeeping on the scatter fast path --
+        exactly the twin block of :meth:`write_words`."""
+        for unit in self.layout.units_of_range(word0, nwords):
+            if unit not in self.twins:
+                self._make_twin(unit)
+
+    def _fold_end(self, n: int, per: float) -> float:
+        """The clock value after ``n`` sequential ``advance(per)`` calls,
+        bit-identical to the loop: ``cumsum`` accumulates left-to-right
+        in float64, the same associativity as repeated ``+=`` (pinned by
+        ``tests/core/test_bulk_access.py``)."""
+        arr = np.empty(n + 1, dtype=np.float64)
+        arr[0] = self.clock.now
+        arr[1:] = per
+        return float(arr.cumsum()[-1])
 
     # ------------------------------------------------------------------
     # Twinning and interval closing
@@ -231,13 +644,15 @@ class LrcProc:
         maximum (not the sum) of the per-writer response times --- the
         aggregation advantage of Sections 3 and 4.
         """
+        pending_get = self.pending.get
         by_writer: Dict[int, List[WriteNotice]] = {}
         for unit in units:
-            for notice in self.pending.get(unit, ()):
+            for notice in pending_get(unit, ()):
                 by_writer.setdefault(notice.proc, []).append(notice)
         if not by_writer:
             raise AssertionError(f"fetch with nothing pending: units={units}")
 
+        config = self.config
         now = self.clock.now
         fault_id = len(self.stats.fault_records)
 
@@ -251,7 +666,7 @@ class LrcProc:
         # locks), where merging across would resurrect stale words.
         all_notices = sorted(
             (nt for lst in by_writer.values() for nt in lst),
-            key=lambda x: x.commit_seq,
+            key=attrgetter("commit_seq"),
         )
         runs: List[List[WriteNotice]] = []
         for nt in all_notices:
@@ -263,34 +678,36 @@ class LrcProc:
         per_writer_runs: Dict[int, List[Diff]] = {w: [] for w in by_writer}
         to_apply: List[tuple] = []  # (commit order position, writer, diff)
         writer_diff_cost: Dict[int, float] = {w: 0.0 for w in by_writer}
+        store_get = self.store.get
+        scan_cache = self.store.diff_scan_cache
+        unit_scan_us = self.layout.unit_bytes * config.diff_create_byte_us
         for position, run in enumerate(runs):
             d = merge_diffs(
-                [self.store.get(nt.proc, nt.index).diff_for(nt.unit) for nt in run]
+                [store_get(nt.proc, nt.index).diff_for(nt.unit) for nt in run]
             )
-            per_writer_runs[run[0].proc].append(d)
-            to_apply.append((position, run[0].proc, d))
+            first = run[0]
+            per_writer_runs[first.proc].append(d)
+            to_apply.append((position, first.proc, d))
             # Lazy diffing: the writer scans the unit when a span is
             # first requested (the cost sits on the response path) and
             # caches the result; later requests for the same span are
             # served from the diff cache.
-            cache_key = (run[0].proc, run[0].unit, run[0].index, run[-1].index)
-            if cache_key not in self.store.diff_scan_cache:
-                self.store.diff_scan_cache.add(cache_key)
-                writer_diff_cost[run[0].proc] += (
-                    self.layout.unit_bytes * self.config.diff_create_byte_us
-                )
+            cache_key = (first.proc, first.unit, first.index, run[-1].index)
+            if cache_key not in scan_cache:
+                scan_cache.add(cache_key)
+                writer_diff_cost[first.proc] += unit_scan_us
                 self.stats.diffs_created += 1
                 self.stats.diff_words_created += d.nwords
                 if self.trace is not None:
                     self.trace.on_diff_create(
-                        run[0].proc, self.pid, now, run[0].unit, d.nwords
+                        first.proc, self.pid, now, first.unit, d.nwords
                     )
 
         # Build the exchanges: normally one per writer carrying all that
         # writer's runs; with combine_requests disabled (ablation), one
         # per (writer, run).
         exchange_plans: List[tuple] = []  # (writer, [run diffs], n_notices)
-        if self.config.combine_requests:
+        if config.combine_requests:
             for writer in sorted(by_writer):
                 exchange_plans.append(
                     (writer, per_writer_runs[writer], len(by_writer[writer]))
@@ -302,53 +719,60 @@ class LrcProc:
         stall = 0.0
         exchange_ids = []
         reply_of_run: Dict[int, int] = {}  # id(diff) -> reply msg id
+        network = self.network
+        msg_cost = config.msg_cost_us
+        parallel = config.parallel_fetch
         for writer, run_diffs, n_notices in exchange_plans:
-            ex = self.network.new_exchange(self.pid, writer, fault_id)
+            ex = network.new_exchange(self.pid, writer, fault_id)
             exchange_ids.append(ex)
             req_bytes = REQUEST_BASE_BYTES + REQUEST_ENTRY_BYTES * n_notices
             # Both legs of the exchange stall the faulting processor, so
             # injected delivery faults (repro.faults) charge their delays
             # to it, whichever direction the perturbed copy travels.
-            req = self.network.record(
+            req = network.record(
                 self.pid, writer, MessageClass.DIFF_REQUEST, req_bytes, now, ex,
                 waiter=self.pid,
             )
             reply_bytes = sum(d.wire_bytes for d in run_diffs)
             reply_words = sum(d.nwords for d in run_diffs)
-            reply = self.network.record(
+            reply = network.record(
                 writer, self.pid, MessageClass.DIFF_REPLY, reply_bytes, now, ex,
                 waiter=self.pid,
             )
             reply.words_carried = reply_words
             for d in run_diffs:
                 reply_of_run[id(d)] = reply.msg_id
-            self.network.close_exchange(ex, req.msg_id, reply.msg_id)
+            network.close_exchange(ex, req.msg_id, reply.msg_id)
             response_time = (
-                self.config.msg_cost_us(req_bytes)
-                + self.config.diff_service_us
+                msg_cost(req_bytes)
+                + config.diff_service_us
                 + writer_diff_cost[writer]
-                + self.config.msg_cost_us(reply_bytes)
+                + msg_cost(reply_bytes)
             )
-            if self.config.parallel_fetch:
+            if parallel:
                 stall = max(stall, response_time)
             else:
                 stall += response_time
 
         # Per-exchange CPU time at the requester (send + receive): wire
         # latencies overlap across writers, CPU work does not.
-        stall += 2 * self.config.msg_cpu_us * len(exchange_plans)
+        stall += 2 * config.msg_cpu_us * len(exchange_plans)
 
         # Apply in global commit order.
         apply_cost = 0.0
+        stats = self.stats
+        tracker_mark = self.tracker.mark
+        apply_byte_us = config.diff_apply_byte_us
+        wpu = self._wpu
         for _pos, writer, d in to_apply:
             msg_id = reply_of_run[id(d)]
-            w0, _ = self.layout.unit_word_range(d.unit)
+            w0 = d.unit * wpu
             apply_diff(d, self.space.unit_view(d.unit))
             if d.nwords:
-                self.tracker.mark(d.idx.astype(np.int64) + w0, msg_id)
-            apply_cost += d.data_bytes * self.config.diff_apply_byte_us
-            self.stats.diffs_applied += 1
-            self.stats.diff_words_applied += d.nwords
+                tracker_mark(d.idx + np.int64(w0), msg_id)
+            apply_cost += d.data_bytes * apply_byte_us
+            stats.diffs_applied += 1
+            stats.diff_words_applied += d.nwords
             if self.trace is not None:
                 pages, page_words = (), ()
                 if d.nwords:
@@ -363,13 +787,14 @@ class LrcProc:
                     pages, page_words,
                 )
 
+        pending_pop = self.pending.pop
         for unit in units:
-            self.pending.pop(unit, None)
+            pending_pop(unit, None)
 
-        self.stats.mprotects += len(units)
+        stats.mprotects += len(units)
         cost = (
-            self.config.fault_trap_us
-            + len(units) * self.config.mprotect_us
+            config.fault_trap_us
+            + len(units) * config.mprotect_us
             + stall
             + apply_cost
         )

@@ -111,6 +111,25 @@ class SwiProc(LrcProc):
             self.config.region_op_us + nwords * self.config.word_access_us
         )
 
+    # ------------------------------------------------------------------
+    # Bulk scatter fast path: ready only when already exclusive
+    # ------------------------------------------------------------------
+    def _bulk_write_ready(self, units: List[int]) -> bool:
+        """The scatter fast path may run only when every touched unit is
+        already exclusively owned here, under which
+        :meth:`_ensure_exclusive` is a guaranteed no-op; otherwise the
+        reference loop performs the ownership acquisitions per range."""
+        d = self.directory
+        pid = self.pid
+        return all(d.owner[u] == pid and d.copyset[u] == {pid} for u in units)
+
+    def _bulk_write_prep_needed(self, units: List[int]) -> bool:
+        return False
+
+    def _bulk_write_prep(self, word0: int, nwords: int) -> None:
+        """No-op: SWI has no twins, and :meth:`_bulk_write_ready`
+        established exclusive ownership of every touched unit."""
+
     def _ensure_exclusive(self, unit: int) -> None:
         """Make this processor the exclusive owner of ``unit`` (the
         MSI "M state"): take ownership from the previous owner if any,

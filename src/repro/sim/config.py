@@ -73,6 +73,18 @@ class SimConfig:
     golden baselines produced before this field existed stay valid
     byte-for-byte."""
 
+    access_mode: str = "bulk"
+    """Engine path for bulk region operations (``Proc.read_range`` /
+    ``write_range`` and the gather/scatter entry points): ``"bulk"``
+    resolves clock charges, twin creation, and diff-word usefulness
+    analytically per touched range with vectorized data movement;
+    ``"scalar"`` forces the word-loop reference path that defines the
+    semantics.  The two modes are bit-identical in every counter,
+    checksum, and trace event (enforced by ``tests/equivalence/``); the
+    default is **omitted** from :meth:`to_dict` like :attr:`protocol`,
+    so cache keys and golden baselines predating the field stay valid
+    byte-for-byte."""
+
     max_group_pages: int = 8
     """Maximum number of pages per dynamic page group (the paper leaves
     this implementation-defined)."""
@@ -262,6 +274,11 @@ class SimConfig:
             )
         if self.word_size != 4:
             raise ValueError("the instrumentation assumes 4-byte words")
+        if self.access_mode not in ("bulk", "scalar"):
+            raise ValueError(
+                f"access_mode must be 'bulk' or 'scalar', got "
+                f"{self.access_mode!r}"
+            )
         if self.protocol != DEFAULT_PROTOCOL:
             # Check against the registry (lazy import: the protocols
             # package depends on this module, not the other way around).
@@ -294,15 +311,17 @@ class SimConfig:
     def to_dict(self) -> dict:
         """All fields as a JSON-safe dict (ints, floats, bools only).
 
-        ``protocol`` is omitted when it holds the default, so the
-        canonical JSON (and everything keyed on it: config hashes, cache
-        keys, cell seeds, golden baselines) of a default-protocol config
-        is byte-identical to what it was before the field existed.
-        :meth:`from_dict` fills the missing key back in via the dataclass
-        default."""
+        ``protocol`` and ``access_mode`` are omitted when they hold their
+        defaults, so the canonical JSON (and everything keyed on it:
+        config hashes, cache keys, cell seeds, golden baselines) of a
+        default config is byte-identical to what it was before each
+        field existed.  :meth:`from_dict` fills the missing keys back in
+        via the dataclass defaults."""
         data = dataclasses.asdict(self)
         if data["protocol"] == DEFAULT_PROTOCOL:
             del data["protocol"]
+        if data["access_mode"] == "bulk":
+            del data["access_mode"]
         return data
 
     @classmethod

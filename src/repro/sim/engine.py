@@ -4,14 +4,20 @@ Execution model
 ---------------
 
 Each simulated processor runs its application function on a dedicated
-Python thread, but **exactly one thread is ever runnable**: the scheduler
-and the processor threads hand control back and forth in strict ping-pong.
-A processor runs uninterrupted from one *synchronization operation* (lock
-acquire/release, barrier, start, finish) to the next; at each such
-operation it parks, posting an :class:`Op` stamped with its simulated
-clock, and the scheduler services pending operations and resumptions in
-global simulated-time order (ties broken by a deterministic sequence
-number).
+Python thread, but **exactly one thread is ever runnable**: control is
+handed from thread to thread so that a processor runs uninterrupted from
+one *synchronization operation* (lock acquire/release, barrier, start,
+finish) to the next.  At each such operation it parks, posting an
+:class:`Op` stamped with its simulated clock, and then *services the
+event heap itself* -- running the handler over pending operations and
+resumptions in global simulated-time order (ties broken by a
+deterministic sequence number) until either its own resumption surfaces
+(it simply keeps running, no thread switch) or another processor's does
+(one event signal hands control over).  There is no scheduler thread in
+the loop: an uncontended lock acquire costs zero context switches, and
+a genuine handoff costs one, not two.  The service order -- and hence
+every simulated outcome -- is identical to a dedicated-scheduler
+formulation; only which OS thread happens to run the handler differs.
 
 This is a conservative discrete-event simulation: the entity with the
 globally minimal timestamp always advances first, so lock-grant order,
@@ -118,7 +124,6 @@ class Engine:
             ProcContext(pid, self) for pid in range(config.nprocs)
         ]
         self._heap: List[tuple] = []  # (ts, seq, entry) where entry is Op|Resume
-        self._heap_lock = threading.Lock()
         self.trace = None
         """Optional :class:`repro.trace.recorder.TraceRecorder` attached
         by the runtime; park/resume hooks feed the per-processor
@@ -128,6 +133,8 @@ class Engine:
         self._aborting = False
         self._exc: Optional[BaseException] = None
         self._running = False
+        self._handler: Optional[Handler] = None
+        self._finished = 0
 
     # ------------------------------------------------------------------
     # Processor-thread side
@@ -136,20 +143,24 @@ class Engine:
         """Park the calling processor at a synchronization operation and
         block until the handler resumes it.
 
-        Called from the processor's own thread.  On return the
-        processor's clock has been advanced to its wake time.
+        Called from the processor's own thread.  The parking thread
+        itself drains the event heap (see :meth:`_drain`); if its own
+        resumption is the next serviceable entry it returns without ever
+        blocking.  On return the processor's clock has been advanced to
+        its wake time.
         """
         if self.trace is not None:
             self.trace.on_park(ctx.pid, ctx.clock.now, kind.value, arg)
-        with self._heap_lock:
-            self._seq += 1
-            op = Op(kind=kind, proc=ctx.pid, ts=ctx.clock.now, arg=arg, seq=self._seq)
-            self._seq += 1
-            heapq.heappush(self._heap, (op.ts, self._seq, op))
-        ctx._event.clear()
-        self._main_event.set()
+        self._seq += 1
+        op = Op(kind=kind, proc=ctx.pid, ts=ctx.clock.now, arg=arg, seq=self._seq)
+        self._seq += 1
+        heapq.heappush(self._heap, (op.ts, self._seq, op))
         if kind is OpKind.FINISH:
+            self._drain(None)
             return  # finishing processors never resume
+        ctx._event.clear()
+        if self._drain(ctx):
+            return  # own resumption serviced inline: no thread switch
         ctx._event.wait()
         if self._aborting:
             raise EngineAborted()
@@ -173,6 +184,7 @@ class Engine:
                 "engine is single-use: construct a fresh Engine per run"
             )
         self._running = True  # never reset: thread and heap state is spent
+        self._handler = handler
 
         for ctx, fn in zip(self.procs, fns, strict=True):
             ctx._thread = threading.Thread(
@@ -188,47 +200,75 @@ class Engine:
             self._push(0.0, Resume(proc=ctx.pid, wake_ts=0.0))
 
         try:
-            self._loop(handler)
+            self._main_event.clear()
+            # Hand control to the first processor; from here the
+            # processor threads pass it among themselves, and the last
+            # one to finish (or the first to fail) signals completion.
+            self._drain(None)
+            self._main_event.wait()
         finally:
             self._teardown()
         if self._exc is not None:
             raise self._exc
 
-    def _loop(self, handler: Handler) -> None:
-        finished = 0
-        nprocs = len(self.procs)
-        # Wait for all START parks.
-        while finished < nprocs:
-            if not self._heap:
-                if self._exc is not None:
-                    return
-                raise DeadlockError(
-                    f"{nprocs - finished} processors blocked with no "
-                    f"serviceable operation (barrier mismatch or lock leak?)"
-                )
-            _, _, entry = heapq.heappop(self._heap)
-            if isinstance(entry, Resume):
-                self._run_segment(self.procs[entry.proc], entry.wake_ts)
-                if self._exc is not None:
-                    return
-                continue
-            op: Op = entry
-            if op.kind is OpKind.FINISH:
-                self.procs[op.proc].finished = True
-                finished += 1
-                handler(op)
-                continue
-            for resume in handler(op):
-                self._push(resume.wake_ts, resume)
+    def _drain(self, self_ctx: Optional[ProcContext]) -> bool:
+        """Service heap entries in global simulated-time order on the
+        calling thread.
 
-    def _run_segment(self, ctx: ProcContext, wake_ts: float) -> None:
-        """Wake ``ctx`` at ``wake_ts`` and block until it parks again."""
-        if self.trace is not None:
-            self.trace.on_resume(ctx.pid, wake_ts)
-        ctx.clock.advance_to(wake_ts)
-        self._main_event.clear()
-        ctx._event.set()
-        self._main_event.wait()
+        Returns True when a :class:`Resume` for ``self_ctx`` was popped
+        (the caller is the next runnable processor and simply keeps
+        executing); returns False after control was handed to another
+        thread, the run completed, or the run aborted.
+        """
+        handler = self._handler
+        nprocs = len(self.procs)
+        heap = self._heap
+        while True:
+            if self._aborting:
+                return False
+            if not heap:
+                if self._finished >= nprocs:
+                    self._main_event.set()  # run complete
+                    return False
+                if self._exc is None:
+                    self._exc = DeadlockError(
+                        f"{nprocs - self._finished} processors blocked "
+                        f"with no serviceable operation (barrier "
+                        f"mismatch or lock leak?)"
+                    )
+                self._abort()
+                return False
+            _, _, entry = heapq.heappop(heap)
+            if isinstance(entry, Resume):
+                tgt = self.procs[entry.proc]
+                if self.trace is not None:
+                    self.trace.on_resume(tgt.pid, entry.wake_ts)
+                tgt.clock.advance_to(entry.wake_ts)
+                if tgt is self_ctx:
+                    return True
+                tgt._event.set()
+                return False
+            op: Op = entry
+            try:
+                if op.kind is OpKind.FINISH:
+                    self.procs[op.proc].finished = True
+                    self._finished += 1
+                    handler(op)
+                    continue
+                for resume in handler(op):
+                    self._push(resume.wake_ts, resume)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                if self._exc is None:
+                    self._exc = exc
+                self._abort()
+                return False
+
+    def _abort(self) -> None:
+        """Unblock every thread so the failure can unwind to ``run``."""
+        self._aborting = True
+        for ctx in self.procs:
+            ctx._event.set()
+        self._main_event.set()
 
     def _thread_body(self, ctx: ProcContext, fn: Callable[[ProcContext], None]) -> None:
         try:
@@ -261,9 +301,10 @@ class Engine:
     # Internals
     # ------------------------------------------------------------------
     def _push(self, ts: float, entry: object) -> None:
-        with self._heap_lock:
-            self._seq += 1
-            heapq.heappush(self._heap, (ts, self._seq, entry))
+        # No lock: the heap is only ever touched by the single runnable
+        # thread (or by ``run`` while every processor is still blocked).
+        self._seq += 1
+        heapq.heappush(self._heap, (ts, self._seq, entry))
 
     @property
     def max_clock_us(self) -> float:

@@ -84,7 +84,7 @@ SYNC_CLASSES = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageRecord:
     """One simulated message.
 
@@ -118,7 +118,7 @@ class MessageRecord:
         return self.klass in DATA_CLASSES and self.words_useful == 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ExchangeRecord:
     """One fault-time message exchange (request + reply) with one writer.
 
@@ -223,9 +223,11 @@ class Network:
         self.messages.append(rec)
         self._by_class[klass] += 1
         self._bytes_by_class[klass] += payload_bytes
-        wire_time = self.config.msg_cost_us(payload_bytes)
-        for obs in tuple(self._observers):
-            obs.on_message(rec, wire_time, waiter)
+        observers = self._observers
+        if observers:
+            wire_time = self.config.msg_cost_us(payload_bytes)
+            for obs in tuple(observers):
+                obs.on_message(rec, wire_time, waiter)
         return rec
 
     def new_exchange(self, requester: int, writer: int, fault_id: int) -> int:

@@ -1,0 +1,118 @@
+"""Runtime validation of ``access_pattern()`` declarations vs bulk calls.
+
+The bulk ports were written against each application's
+:meth:`~repro.apps.base.Application.access_pattern` declaration; the
+:class:`repro.core.validate.BulkAccessValidator` enforces that contract
+at runtime.  Three guarantees are pinned here:
+
+* every application's actual bulk gathers/scatters stay inside its own
+  declaration (the full matrix runs clean under validation),
+* validation is purely observational (identical counters on/off), and
+* a deliberately mis-declared application *fails*: the validator is not
+  vacuous.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analyze.access import Access, AccessPattern
+from repro.apps.base import get_app, run_app
+from repro.bench.cache import cell_seed
+from repro.bench.golden import GOLDEN_FIELDS, SMALL_DATASETS
+from repro.bench.harness import CaseResult, config_for
+from repro.core.validate import AccessDeclarationError, BulkAccessValidator
+
+APPS = sorted(SMALL_DATASETS)
+
+
+def _validated_run(app, dataset: str, label: str = "4K", **kwargs):
+    config = config_for(label)
+    seed = cell_seed(app.name, dataset, config)
+    np.random.seed(seed)  # detlint: ok(global-random)
+    random.seed(seed)  # detlint: ok(global-random)
+    return run_app(app, dataset, config, **kwargs)
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_declared_apps_pass_validation(app_name):
+    """Every app's bulk accesses lie inside its declared pattern."""
+    res = _validated_run(
+        get_app(app_name), SMALL_DATASETS[app_name], validate_access=True
+    )
+    assert res.time_us > 0
+
+
+def test_validation_is_observational():
+    """Attaching the validator changes no counter, clock, or checksum."""
+    app, ds = "Water", SMALL_DATASETS["Water"]
+    plain = CaseResult.from_run(_validated_run(get_app(app), ds))
+    checked = CaseResult.from_run(
+        _validated_run(get_app(app), ds, validate_access=True)
+    )
+    for field in GOLDEN_FIELDS:
+        assert getattr(plain, field) == getattr(checked, field), field
+
+
+def test_misdeclared_app_raises():
+    """An app whose declaration omits accesses it actually performs is
+    rejected at the first undeclared bulk call."""
+    water_cls = type(get_app("Water"))
+
+    class MisdeclaredWater(water_cls):
+        def access_pattern(self, handles, params, nprocs):
+            pattern = super().access_pattern(handles, params, nprocs)
+            for phase in pattern.phases:
+                phase.accesses = [
+                    a
+                    for a in phase.accesses
+                    if not (a.proc == 0 and a.op == "write")
+                ]
+            return pattern
+
+    with pytest.raises(AccessDeclarationError, match=r"proc 0"):
+        _validated_run(
+            MisdeclaredWater(), SMALL_DATASETS["Water"], validate_access=True
+        )
+
+
+# ----------------------------------------------------------------------
+# Validator unit behavior
+# ----------------------------------------------------------------------
+def _toy_validator():
+    pattern = AccessPattern(app="toy")
+    ph = pattern.phase("p0")
+    ph.accesses.append(Access(proc=0, op="read", word0=100, nwords=64))
+    ph.accesses.append(Access(proc=0, op="read", word0=164, nwords=36))
+    return BulkAccessValidator(pattern)
+
+
+def test_validator_accepts_ranges_inside_merged_intervals():
+    v = _toy_validator()
+    # [100, 200) after merging the two adjacent declarations.
+    v.check(0, "read", np.array([100, 136, 150]), 50)
+
+
+def test_validator_rejects_range_past_declaration():
+    v = _toy_validator()
+    with pytest.raises(AccessDeclarationError, match=r"\[150, 250\)"):
+        v.check(0, "read", np.array([100, 150]), 100)
+
+
+def test_validator_rejects_range_before_declaration():
+    v = _toy_validator()
+    with pytest.raises(AccessDeclarationError):
+        v.check(0, "read", np.array([96]), 8)
+
+
+def test_validator_rejects_undeclared_op():
+    v = _toy_validator()
+    with pytest.raises(AccessDeclarationError, match="no write accesses"):
+        v.check(0, "write", np.array([100]), 4)
+
+
+def test_validator_ignores_empty_calls():
+    v = _toy_validator()
+    v.check(0, "write", np.array([], dtype=np.int64), 4)
+    v.check(1, "read", np.array([0]), 0)

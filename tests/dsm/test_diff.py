@@ -67,7 +67,7 @@ def test_apply_roundtrip():
 
 
 def test_apply_out_of_range_rejected():
-    d = Diff(unit=0, idx=np.array([10], np.int32), values=np.array([1], np.uint32), wire_bytes=0)
+    d = Diff(unit=0, idx=np.array([10], np.int32), values=np.array([1], np.uint32), wire_bytes=0, nwords=1)
     with pytest.raises(IndexError):
         apply_diff(d, np.zeros(4, np.uint32))
 

@@ -121,14 +121,17 @@ class TestSerialization:
         a, b = SimConfig(), SimConfig()
         assert a.canonical_json() == b.canonical_json()
         # Every field participates, so no two distinct configs can alias.
-        # Exception: `protocol` is omitted at its default so cache keys,
-        # cell seeds, and golden hashes from before the field existed
-        # stay byte-identical (see SimConfig.to_dict) -- a non-default
-        # protocol always serializes, so aliasing is still impossible.
+        # Exception: `protocol` and `access_mode` are omitted at their
+        # defaults so cache keys, cell seeds, and golden hashes from
+        # before each field existed stay byte-identical (see
+        # SimConfig.to_dict) -- a non-default value always serializes,
+        # so aliasing is still impossible.
         parsed = json.loads(a.canonical_json())
         fields = {f.name for f in dataclasses.fields(SimConfig)}
-        assert set(parsed) == fields - {"protocol"}
-        non_default = json.loads(SimConfig(protocol="hlrc").canonical_json())
+        assert set(parsed) == fields - {"protocol", "access_mode"}
+        non_default = json.loads(
+            SimConfig(protocol="hlrc", access_mode="scalar").canonical_json()
+        )
         assert set(non_default) == fields
 
     def test_config_hash_distinguishes_every_field_change(self):
