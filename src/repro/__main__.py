@@ -7,6 +7,7 @@ Dispatches to the subsystem CLIs::
     python -m repro faults --chaos-sweep       # == python -m repro.faults
     python -m repro analyze --lint             # == python -m repro.analyze
     python -m repro protocols --list           # == python -m repro.protocols
+    python -m repro farm submit figure1        # == python -m repro.farm
 
 ``python -m repro`` alone (or ``--help``) lists the subcommands.
 Everything after the subcommand is handed to that CLI verbatim, so each
@@ -49,6 +50,12 @@ def _protocols(argv: List[str]) -> int:
     return main(argv)
 
 
+def _farm(argv: List[str]) -> int:
+    from repro.farm.cli import main
+
+    return main(argv)
+
+
 #: Subcommand -> (runner, one-line description).
 SUBCOMMANDS: Dict[str, tuple] = {
     "bench": (_bench, "regenerate the paper's tables and figures; "
@@ -61,6 +68,8 @@ SUBCOMMANDS: Dict[str, tuple] = {
                           "analysis with dynamic crosscheck"),
     "protocols": (_protocols, "consistency-protocol zoo: list the registry, "
                               "cross-protocol checksum smoke gate"),
+    "farm": (_farm, "distributed sweep farm: submit cells, run "
+                    "work-stealing workers, serve results read-only"),
 }
 
 

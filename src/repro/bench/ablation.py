@@ -18,9 +18,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, List
 
 from repro.bench.harness import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - only for the cells() annotation
+    from repro.bench.pool import SweepCell
 
 
 @dataclass
@@ -31,12 +34,12 @@ class AblationRow:
     total_messages: int
 
 
-def cells() -> list:
+def cells() -> List[SweepCell]:
     """The sweep cells the default ablation set consumes (for parallel
     prewarming); mirrors ``repro.bench.cli._run_ablation``."""
     from repro.bench.pool import SweepCell
 
-    out = []
+    out: List[SweepCell] = []
     for app, ds in (("ILINK", "CLP"), ("MGS", "1Kx1K")):
         for maxg in (1, 2, 4, 8, 16):
             out.append(SweepCell.make(app, ds, "Dyn", max_group_pages=maxg))
@@ -48,7 +51,7 @@ def cells() -> list:
 
 
 def sweep_group_size(app: str = "ILINK", dataset: str = "CLP") -> List[AblationRow]:
-    rows = []
+    rows: List[AblationRow] = []
     for maxg in (1, 2, 4, 8, 16):
         c = ResultCache.get(app, dataset, "Dyn", max_group_pages=maxg)
         rows.append(
@@ -63,7 +66,7 @@ def sweep_group_size(app: str = "ILINK", dataset: str = "CLP") -> List[AblationR
 
 
 def ablate_request_combining(app: str = "ILINK", dataset: str = "CLP") -> List[AblationRow]:
-    rows = []
+    rows: List[AblationRow] = []
     for combine in (True, False):
         c = ResultCache.get(app, dataset, "Dyn", combine_requests=combine)
         rows.append(
@@ -78,7 +81,7 @@ def ablate_request_combining(app: str = "ILINK", dataset: str = "CLP") -> List[A
 
 
 def ablate_parallel_fetch(app: str = "ILINK", dataset: str = "CLP") -> List[AblationRow]:
-    rows = []
+    rows: List[AblationRow] = []
     for parallel in (True, False):
         c = ResultCache.get(app, dataset, "16K", parallel_fetch=parallel)
         rows.append(
@@ -93,7 +96,7 @@ def ablate_parallel_fetch(app: str = "ILINK", dataset: str = "CLP") -> List[Abla
 
 
 def render(rows: List[AblationRow]) -> str:
-    lines = []
+    lines: List[str] = []
     for r in rows:
         lines.append(
             f"  {r.name:<32} {r.setting:<24} time={r.time_us / 1e6:8.4f}s "

@@ -20,16 +20,27 @@ A cell's cache key hashes four things:
   like ``max_group_pages`` -- can never alias.
 
 Entries are one JSON file per cell under ``repro_results/cache/`` with a
-human-readable ``<app>-<dataset>-<label>-<key>.json`` name.  Corrupt,
+human-readable ``<app>-<dataset>-<label>-<key>.json`` name (components
+sanitized to a filesystem-safe alphabet; the trailing content-addressed
+key is what disambiguates, so prefix collisions are harmless).  Corrupt,
 truncated, or stale-schema files are treated as misses and overwritten.
+
+The entry construction / validation / naming helpers below are shared
+with the distributed result store (:mod:`repro.farm.store`), whose
+``LocalDirBackend`` is byte-compatible with this layout -- a cache
+directory written by either is warm for both.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 import pathlib
-from typing import TYPE_CHECKING, Optional
+import re
+import tempfile
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.sim.config import SimConfig
 
@@ -45,7 +56,9 @@ DEFAULT_CACHE_DIR = pathlib.Path("repro_results") / "cache"
 
 _SRC_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
-_code_version_cache: dict = {}
+#: Memo for :func:`code_version` ("default" -> digest); sources do not
+#: change under a live process, so the walk runs once.
+_code_version_cache: Dict[str, str] = {}
 
 
 def code_version(src_root: Optional[pathlib.Path] = None) -> str:
@@ -90,6 +103,119 @@ def cell_seed(app: str, dataset: str, config: SimConfig) -> int:
     return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:4], "big")
 
 
+# ----------------------------------------------------------------------
+# Entry layout helpers (shared with repro.farm.store backends)
+# ----------------------------------------------------------------------
+_SAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def sanitize_component(text: str, limit: int = 48) -> str:
+    """Filesystem-safe form of one filename component.
+
+    Anything outside ``[A-Za-z0-9._-]`` becomes ``_`` (path separators,
+    spaces, shell metacharacters, NULs), the result is length-capped so
+    hostile labels cannot exceed filename limits, and an empty or
+    all-dots component (``""``, ``"."``, ``".."``) degrades to ``"_"``
+    rather than a path-traversal token.  Every name the paper's apps,
+    datasets, and unit labels actually use is already safe, so the
+    sanitized filenames -- and hence pre-existing cache directories --
+    are unchanged for them.
+    """
+    safe = _SAFE_COMPONENT.sub("_", text)[:limit]
+    if not safe.strip("."):
+        return "_"
+    return safe
+
+
+def entry_filename(app: str, dataset: str, label: str, key: str) -> str:
+    """The ``<app>-<dataset>-<label>-<key>.json`` cache file name."""
+    prefix = "-".join(sanitize_component(c) for c in (app, dataset, label))
+    return f"{prefix}-{key}.json"
+
+
+def entry_digest(entry: Dict[str, Any]) -> str:
+    """Integrity digest over an entry's canonical JSON (sans ``digest``).
+
+    Stored inside the entry at write time and re-verified at read time,
+    so silent corruption anywhere in the payload -- not just truncation,
+    which the JSON parse already catches -- is treated as a miss.
+    """
+    body = {k: v for k, v in entry.items() if k != "digest"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def build_entry(
+    app: str,
+    dataset: str,
+    label: str,
+    config: SimConfig,
+    result: "CaseResult",
+) -> Dict[str, Any]:
+    """The full self-describing cache entry for one cell, with digest."""
+    entry: Dict[str, Any] = {
+        "schema": CACHE_SCHEMA,
+        "key": cell_key(app, dataset, config),
+        "code_version": code_version(),
+        "app": app,
+        "dataset": dataset,
+        "label": label,
+        "config": config.to_dict(),
+        "result": result.to_json_dict(),
+    }
+    entry["digest"] = entry_digest(entry)
+    return entry
+
+
+def parse_entry(entry: Dict[str, Any], key: str) -> "CaseResult":
+    """Validate an entry dict against ``key`` and decode its result.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on a stale schema,
+    a key mismatch, or an integrity-digest mismatch; callers treat any
+    of those as a cache miss.  Entries written before digests existed
+    (no ``digest`` field) still parse -- old caches stay warm.
+    """
+    from repro.bench.harness import CaseResult
+
+    if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
+        raise ValueError("stale cache entry")
+    if "digest" in entry and entry["digest"] != entry_digest(entry):
+        raise ValueError("integrity digest mismatch")
+    result = CaseResult.from_json_dict(entry["result"])
+    if not isinstance(result, CaseResult):  # pragma: no cover - defensive
+        raise TypeError("entry result is not a CaseResult")
+    return result
+
+
+def dump_entry(entry: Dict[str, Any]) -> str:
+    """An entry's on-disk serialization (stable, human-diffable)."""
+    return json.dumps(entry, sort_keys=True, indent=1) + "\n"
+
+
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (unique temp + rename).
+
+    The temp file name is unique per writer (``mkstemp``), so two
+    processes racing the same cell each publish a complete file and the
+    last rename wins whole -- a killed or concurrent writer can never
+    leave a truncated file that another process half-reads between its
+    open and parse.  (Cell entries are content-addressed, so racing
+    writers produce identical bytes and the winner is immaterial.)
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
 class DiskCache:
     """One-file-per-cell JSON cache with hit/miss accounting."""
 
@@ -100,22 +226,17 @@ class DiskCache:
         self.stores = 0
 
     def _path(self, app: str, dataset: str, label: str, key: str) -> pathlib.Path:
-        safe = f"{app}-{dataset}-{label}".replace("/", "_").replace(" ", "_")
-        return self.root / f"{safe}-{key}.json"
+        return self.root / entry_filename(app, dataset, label, key)
 
     def load(
         self, app: str, dataset: str, label: str, config: SimConfig
     ) -> "Optional[CaseResult]":
         """Return the cached :class:`CaseResult`, or None on a miss."""
-        from repro.bench.harness import CaseResult
-
         key = cell_key(app, dataset, config)
         path = self._path(app, dataset, label, key)
         try:
             entry = json.loads(path.read_text())
-            if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
-                raise ValueError("stale cache entry")
-            result = CaseResult.from_json_dict(entry["result"])
+            result = parse_entry(entry, key)
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
@@ -127,22 +248,9 @@ class DiskCache:
         result: "CaseResult",
     ) -> pathlib.Path:
         """Write one cell's result; returns the file path."""
-        key = cell_key(app, dataset, config)
-        path = self._path(app, dataset, label, key)
-        self.root.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "schema": CACHE_SCHEMA,
-            "key": key,
-            "code_version": code_version(),
-            "app": app,
-            "dataset": dataset,
-            "label": label,
-            "config": config.to_dict(),
-            "result": result.to_json_dict(),
-        }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1) + "\n")
-        tmp.replace(path)  # atomic: concurrent readers never see a torn file
+        entry = build_entry(app, dataset, label, config, result)
+        path = self._path(app, dataset, label, str(entry["key"]))
+        atomic_write_text(path, dump_entry(entry))
         self.stores += 1
         return path
 

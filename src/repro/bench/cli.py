@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import (
     ablation,
@@ -42,7 +42,9 @@ def _run_table1() -> str:
     return table1.render_table1(table1.build_table1())
 
 
-def _run_figure(fig: Callable) -> Callable[[], str]:
+def _run_figure(
+    fig: Callable[[], Tuple[figures.Matrix, str]]
+) -> Callable[[], str]:
     def run() -> str:
         _, text = fig()
         return text
@@ -115,7 +117,7 @@ def _dump_traces(outdir: pathlib.Path) -> None:
         print(f"wrote {path} ({len(res.trace.events)} events)")
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -235,6 +237,7 @@ def main(argv=None) -> int:
         )
 
     apps = args.only.split(",") if args.only else None
+    protocols: Tuple[str, ...]
     if args.protocols == "all":
         protocols = golden.GOLDEN_PROTOCOLS
     elif args.protocols:
@@ -274,13 +277,13 @@ def main(argv=None) -> int:
             for path in written:
                 print(f"wrote {path}")
         if args.check:
-            report = golden.check(
+            check_report = golden.check(
                 args.golden_dir, apps=apps, jobs=args.jobs,
                 protocols=protocols, access_mode=args.access_mode,
                 full=args.full,
             )
-            print(report.render())
-            if not report.ok:
+            print(check_report.render())
+            if not check_report.ok:
                 return 1
         return 0
     finally:

@@ -17,7 +17,11 @@ suite as assertions).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us
+    # indirectly through the harness)
+    from repro.bench.pool import SweepCell
 
 from repro.bench.harness import (
     UNIT_LABELS,
@@ -58,7 +62,7 @@ FIGURE3_CASES = [
 Matrix = Dict[Tuple[str, str], Dict[str, CaseResult]]
 
 
-def _sweep(cases) -> Matrix:
+def _sweep(cases: Sequence[Tuple[str, str]]) -> Matrix:
     out: Matrix = {}
     for app, ds in cases:
         out[(app, ds)] = {
@@ -67,7 +71,7 @@ def _sweep(cases) -> Matrix:
     return out
 
 
-def cells(which: str) -> list:
+def cells(which: str) -> List[SweepCell]:
     """The sweep cells one figure consumes (for parallel prewarming)."""
     from repro.bench.pool import SweepCell
 
@@ -103,7 +107,7 @@ def figure2() -> Tuple[Matrix, str]:
 
 def figure3() -> Tuple[Matrix, str]:
     matrix = _sweep(FIGURE3_CASES)
-    blocks = []
+    blocks: List[str] = []
     for (app, ds), cells in matrix.items():
         blocks.append(f"--- {app} {ds} ---\n" + render_signature(cells))
     return matrix, "Figure 3 -- false sharing signatures (4K vs 16K)\n" + \
@@ -122,7 +126,7 @@ def expected_shape_figure1(matrix: Matrix) -> List[str]:
     EXPERIMENTS.md -- for TSP we assert messages do not grow and the
     dynamic scheme wins.)
     """
-    bad = []
+    bad: List[str] = []
     for app, ds in (("Barnes", "16K"), ("ILINK", "CLP"), ("Water", "512")):
         c = matrix[(app, ds)]
         if not c["16K"].time_us < c["4K"].time_us * 1.02:
@@ -134,7 +138,7 @@ def expected_shape_figure1(matrix: Matrix) -> List[str]:
         bad.append("TSP: dynamic aggregation should beat 4K")
     for (app, ds), cells in matrix.items():
         base, dyn = cells["4K"], cells["Dyn"]
-        best = min(cells[l].time_us for l in ("4K", "8K", "16K"))
+        best = min(cells[label].time_us for label in ("4K", "8K", "16K"))
         if dyn.time_us > max(base.time_us, best) * 1.10:
             bad.append(f"{app}: dynamic should be within ~10% of 4K/best")
     return bad
@@ -142,9 +146,9 @@ def expected_shape_figure1(matrix: Matrix) -> List[str]:
 
 def expected_shape_figure2(matrix: Matrix) -> List[str]:
     """Figure 2 claims (Section 5.4's three size regimes)."""
-    bad = []
+    bad: List[str] = []
 
-    def t(app, ds, label):
+    def t(app: str, ds: str, label: str) -> float:
         return matrix[(app, ds)][label].time_us
 
     # Smallest inputs degrade beyond 4 KB.
@@ -174,9 +178,9 @@ def expected_shape_figure2(matrix: Matrix) -> List[str]:
 def expected_shape_figure3(matrix: Matrix) -> List[str]:
     """Figure 3 claims: signatures invariant for Barnes/Ilink/Water,
     sharp rightward shift for MGS."""
-    bad = []
+    bad: List[str] = []
 
-    def mean(app, ds, label):
+    def mean(app: str, ds: str, label: str) -> float:
         sig = matrix[(app, ds)][label].signature
         return sum(k * sum(v) for k, v in sig.items())
 

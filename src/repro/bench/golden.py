@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.bench import micro
 from repro.bench.harness import CaseResult, ResultCache
@@ -84,13 +84,13 @@ GOLDEN_PROTOCOLS = (DEFAULT_PROTOCOL, "erc", "hlrc", "swi")
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "golden"
 
 
-def _protocol_extra(protocol: str) -> dict:
+def _protocol_extra(protocol: str) -> Dict[str, Any]:
     """The config override for one protocol -- empty for the default, so
     default-protocol cells keep their pre-zoo cache keys and seeds."""
     return {} if protocol == DEFAULT_PROTOCOL else {"protocol": protocol}
 
 
-def _cell_extra(protocol: str, access_mode: str = "bulk") -> dict:
+def _cell_extra(protocol: str, access_mode: str = "bulk") -> Dict[str, Any]:
     """Config overrides for one gate cell.  Like the protocol override,
     the default access mode stays out of the dict so default cells keep
     their existing cache keys and per-cell seeds.  Scalar cells resolve
@@ -164,15 +164,17 @@ class Mismatch:
         )
 
 
-def _pct(delta, base) -> str:
+def _pct(delta: float, base: float) -> str:
     if not base:
         return "n/a"
     return f"{100.0 * delta / base:+.2f}%"
 
 
-def compare_case(where: str, case: CaseResult, golden: dict) -> List[Mismatch]:
+def compare_case(
+    where: str, case: CaseResult, golden: Dict[str, Any]
+) -> List[Mismatch]:
     """Exact comparison of one cell against its baseline entry."""
-    out = []
+    out: List[Mismatch] = []
     for f in GOLDEN_FIELDS:
         expected = golden.get(f)
         actual = getattr(case, f)
@@ -195,7 +197,7 @@ def _app_path(
 
 def load_app_golden(
     golden_dir: pathlib.Path, app: str, protocol: str = DEFAULT_PROTOCOL
-) -> Optional[dict]:
+) -> Optional[Dict[str, Any]]:
     path = _app_path(golden_dir, app, protocol)
     if not path.is_file():
         return None
@@ -207,7 +209,7 @@ def write_golden(
     apps: Optional[Sequence[str]] = None,
     jobs: int = 1,
     with_micro: bool = True,
-    progress=None,
+    progress: Optional[Callable[[str], None]] = None,
     protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
     full: bool = False,
 ) -> List[pathlib.Path]:
@@ -223,7 +225,7 @@ def write_golden(
     cells = golden_cells(apps, protocols, full=full)
     run_cells(cells, jobs=jobs, progress=progress)
     golden_dir = pathlib.Path(golden_dir)
-    written = []
+    written: List[pathlib.Path] = []
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
     for protocol in protocols:
         extra = _protocol_extra(protocol)
@@ -265,12 +267,8 @@ class CheckReport:
     """Outcome of one ``--check`` invocation."""
 
     cells_checked: int = 0
-    mismatches: List[Mismatch] = None
-    missing: List[str] = None
-
-    def __post_init__(self):
-        self.mismatches = self.mismatches or []
-        self.missing = self.missing or []
+    mismatches: List[Mismatch] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -304,7 +302,7 @@ def check(
     apps: Optional[Sequence[str]] = None,
     jobs: int = 1,
     with_micro: bool = True,
-    progress=None,
+    progress: Optional[Callable[[str], None]] = None,
     protocols: Sequence[str] = (DEFAULT_PROTOCOL,),
     access_mode: str = "bulk",
     full: bool = False,
@@ -324,7 +322,10 @@ def check(
     run_cells(cells, jobs=jobs, progress=progress)
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
 
-    def compare_cell(app, ds, label, protocol, golden_entry):
+    def compare_cell(
+        app: str, ds: str, label: str, protocol: str,
+        golden_entry: Optional[Dict[str, Any]],
+    ) -> None:
         extra = _cell_extra(protocol, access_mode)
         tag = "" if protocol == DEFAULT_PROTOCOL else f" [{protocol}]"
         where = f"{app}/{ds}@{label}{tag}"

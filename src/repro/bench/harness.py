@@ -10,9 +10,10 @@ twice; the render helpers produce the paper-shaped ASCII tables.
 
 from __future__ import annotations
 
+import pathlib
 import random
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,13 +27,14 @@ from repro.stats.signature import normalized_from_json, normalized_to_json
 UNIT_LABELS = ("4K", "8K", "16K", "Dyn")
 
 
-def config_for(label: str, nprocs: int = 8, **extra) -> SimConfig:
+def config_for(label: str, nprocs: int = 8, **extra: Any) -> SimConfig:
     """The SimConfig for one of the paper's unit labels (or 'seq').
 
     ``extra`` overrides win over the label's own defaults, so a spelling
     like ``config_for("4K", unit_pages=1)`` is legal (and resolves to the
     same config -- and hence the same cache cell -- as ``config_for("4K")``).
     """
+    kwargs: Dict[str, Any]
     if label == "seq":
         kwargs = dict(nprocs=1)
     elif label == "Dyn":
@@ -128,19 +130,19 @@ class CaseResult:
     # Floats survive exactly: json uses repr, the shortest round-tripping
     # decimal form.
     # ------------------------------------------------------------------
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         data["signature"] = normalized_to_json(self.signature)
         return data
 
     @classmethod
-    def from_json_dict(cls, data: dict) -> "CaseResult":
+    def from_json_dict(cls, data: Dict[str, Any]) -> "CaseResult":
         data = dict(data)
         data["signature"] = normalized_from_json(data["signature"])
         return cls(**data)
 
 
-def run_case(app_name: str, dataset: str, label: str, **extra) -> CaseResult:
+def run_case(app_name: str, dataset: str, label: str, **extra: Any) -> CaseResult:
     """Run one (application, dataset, configuration) cell.
 
     Before the run, the process-global RNGs are seeded from a hash of the
@@ -161,6 +163,11 @@ def run_case(app_name: str, dataset: str, label: str, **extra) -> CaseResult:
     return CaseResult.from_run(res)
 
 
+class PendingCellError(LookupError):
+    """A cell was requested while computation is disabled
+    (:meth:`ResultCache.set_compute`) and no cached result exists."""
+
+
 class ResultCache:
     """Process-wide memo of matrix cells (simulations are deterministic,
     so caching is sound), optionally backed by an on-disk cache.
@@ -174,6 +181,7 @@ class ResultCache:
 
     _cells: Dict[str, CaseResult] = {}
     _disk: Optional[DiskCache] = None
+    _compute: bool = True
 
     @classmethod
     def configure(cls, disk: Optional[DiskCache]) -> None:
@@ -185,7 +193,19 @@ class ResultCache:
         return cls._disk
 
     @classmethod
-    def get(cls, app_name: str, dataset: str, label: str, **extra) -> CaseResult:
+    def set_compute(cls, enabled: bool) -> bool:
+        """Allow or forbid running simulations on a cache miss; returns
+        the previous setting.  The read-only results service disables
+        computation so a renderer whose cell enumeration drifted raises
+        :class:`PendingCellError` instead of simulating in-request."""
+        previous = cls._compute
+        cls._compute = enabled
+        return previous
+
+    @classmethod
+    def get(
+        cls, app_name: str, dataset: str, label: str, **extra: Any
+    ) -> CaseResult:
         config = config_for(label, **extra)
         key = cell_key(app_name, dataset, config)
         if key in cls._cells:
@@ -194,6 +214,11 @@ class ResultCache:
         if cls._disk is not None:
             result = cls._disk.load(app_name, dataset, label, config)
         if result is None:
+            if not cls._compute:
+                raise PendingCellError(
+                    f"cell {app_name}/{dataset}@{label} is not cached and "
+                    f"computation is disabled"
+                )
             result = run_case(app_name, dataset, label, **extra)
             if cls._disk is not None:
                 cls._disk.store(app_name, dataset, label, config, result)
@@ -202,7 +227,7 @@ class ResultCache:
 
     @classmethod
     def put(cls, app_name: str, dataset: str, label: str,
-            result: CaseResult, **extra) -> None:
+            result: CaseResult, **extra: Any) -> None:
         """Install an externally-computed cell (pool workers feed results
         back through this), writing through to the disk layer."""
         config = config_for(label, **extra)
@@ -212,7 +237,9 @@ class ResultCache:
             cls._disk.store(app_name, dataset, label, config, result)
 
     @classmethod
-    def cached(cls, app_name: str, dataset: str, label: str, **extra) -> bool:
+    def cached(
+        cls, app_name: str, dataset: str, label: str, **extra: Any
+    ) -> bool:
         """True when the cell is already in memory or on disk (a disk
         probe loads the entry into memory as a side effect)."""
         config = config_for(label, **extra)
@@ -268,9 +295,11 @@ def render_breakdown_table(
     return "\n".join(lines)
 
 
-def render_signature(cells: Dict[str, CaseResult], labels=("4K", "16K")) -> str:
+def render_signature(
+    cells: Dict[str, CaseResult], labels: Sequence[str] = ("4K", "16K")
+) -> str:
     """Figure-3 panel: the false-sharing signature histogram as text."""
-    lines = []
+    lines: List[str] = []
     for label in labels:
         c = cells[label]
         lines.append(f"  [{label}] mean writers = "
@@ -284,14 +313,16 @@ def render_signature(cells: Dict[str, CaseResult], labels=("4K", "16K")) -> str:
     return "\n".join(lines)
 
 
-def write_csv(path, rows: Iterable[dict]) -> None:
+def write_csv(
+    path: Union[str, pathlib.Path], rows: Iterable[Dict[str, Any]]
+) -> None:
     """Write experiment rows as CSV (header from the first row)."""
-    rows = list(rows)
-    if not rows:
+    materialized = list(rows)
+    if not materialized:
         return
     import csv
 
     with open(path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer = csv.DictWriter(fh, fieldnames=list(materialized[0].keys()))
         writer.writeheader()
-        writer.writerows(rows)
+        writer.writerows(materialized)

@@ -15,11 +15,11 @@ compose to the calibrated costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, List
 
 import numpy as np
 
-from repro.core import SimConfig, TreadMarks
+from repro.core import Proc, SimConfig, TreadMarks
 
 
 @dataclass
@@ -40,7 +40,7 @@ class MicroResult:
         )
 
 
-def snapshot(results) -> Dict[str, float]:
+def snapshot(results: Iterable[MicroResult]) -> Dict[str, float]:
     """``name -> measured_us`` of a microbenchmark run.  The simulator is
     deterministic, so the golden regression gate exact-matches these
     alongside the application counters (see :mod:`repro.bench.golden`)."""
@@ -53,7 +53,7 @@ def measure_barrier(nprocs: int = 8) -> float:
     n = 10
     times: Dict[int, float] = {}
 
-    def body(proc):
+    def body(proc: Proc) -> None:
         start = proc.time_us
         for i in range(n):
             proc.barrier(i)
@@ -69,7 +69,7 @@ def measure_lock(remote: bool = True) -> float:
     out: Dict[str, float] = {}
     n = 10
 
-    def body(proc):
+    def body(proc: Proc) -> None:
         # Warm up ownership on proc 0, then measure on proc 1 (remote) by
         # bouncing ownership back each round.
         if proc.id == 0:
@@ -105,7 +105,7 @@ def measure_diff_fetch(words: int) -> float:
     arr = tmk.array("a", (4096,), "uint32")
     out: Dict[str, float] = {}
 
-    def body(proc):
+    def body(proc: Proc) -> None:
         if proc.id == 0:
             arr.write(proc, 0, np.arange(words, dtype=np.uint32) + 1)
         proc.barrier()
@@ -120,7 +120,7 @@ def measure_diff_fetch(words: int) -> float:
     return out["stall"]
 
 
-def run_all() -> list:
+def run_all() -> List[MicroResult]:
     """All microbenchmarks with the paper's reference bands."""
     return [
         MicroResult("1-byte round trip", measure_rtt(), 296.0, 296.0),
@@ -131,7 +131,7 @@ def run_all() -> list:
     ]
 
 
-def render(results) -> str:
+def render(results: Iterable[MicroResult]) -> str:
     lines = ["Section 5.1 microbenchmarks (simulated vs paper)"]
     for r in results:
         band = (

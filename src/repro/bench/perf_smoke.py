@@ -27,6 +27,7 @@ import json
 import pathlib
 import sys
 import time
+from typing import Callable, Optional, Sequence
 
 from repro.bench.harness import run_case
 
@@ -44,7 +45,7 @@ def time_cell(app: str, dataset: str, label: str, repeats: int) -> float:
     )
 
 
-def _timed(fn) -> float:
+def _timed(fn: Callable[[], object]) -> float:
     # This module *measures* host wall time (that is its job); nothing
     # simulation-ordered happens here.
     t0 = time.perf_counter()  # detlint: ok(wall-clock)
@@ -52,7 +53,7 @@ def _timed(fn) -> float:
     return time.perf_counter() - t0  # detlint: ok(wall-clock)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.perf_smoke",
         description="Fail when the bulk fast path's figure-1 smoke cell "

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.cache import cell_key
 from repro.bench.harness import CaseResult, ResultCache, config_for, run_case
@@ -48,11 +48,11 @@ class SweepCell:
     extra: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
-    def make(cls, app: str, dataset: str, label: str, **extra) -> "SweepCell":
+    def make(cls, app: str, dataset: str, label: str, **extra: Any) -> "SweepCell":
         return cls(app, dataset, label, tuple(sorted(extra.items())))
 
     @property
-    def kwargs(self) -> dict:
+    def kwargs(self) -> Dict[str, Any]:
         return dict(self.extra)
 
     @property
@@ -64,7 +64,7 @@ class SweepCell:
         return f"{self.app}/{self.dataset}@{self.label}{extras}"
 
 
-def _run_cell_json(cell: SweepCell) -> dict:
+def _run_cell_json(cell: SweepCell) -> Dict[str, Any]:
     """Pool worker: run one cell, return its lossless JSON encoding.
 
     A cell whose fault plan exhausts the retransmission budget (retries
@@ -82,7 +82,7 @@ def dedupe_cells(cells: Sequence[SweepCell]) -> List[SweepCell]:
     """Drop cells whose resolved configuration duplicates an earlier one
     (first spelling wins), preserving order."""
     seen: Dict[str, SweepCell] = {}
-    out = []
+    out: List[SweepCell] = []
     for cell in cells:
         if cell.key not in seen:
             seen[cell.key] = cell

@@ -25,7 +25,7 @@ the unit never helped at all.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.bench.golden import (
     GOLDEN_LABELS,
@@ -69,15 +69,15 @@ def stops_paying(times: Dict[str, float]) -> str:
     return best
 
 
-def sweep_rows() -> List[dict]:
+def sweep_rows() -> List[Dict[str, Any]]:
     """Flat per-(app, protocol) rows (CSV-friendly)."""
-    rows = []
+    rows: List[Dict[str, Any]] = []
     for app in sorted(SMALL_DATASETS):
         base_tm = _case(app, "4K", "tm-lrc")
         for protocol in PROTOCOL_ORDER:
             cases = {lb: _case(app, lb, protocol) for lb in GOLDEN_LABELS}
             times = {lb: c.time_us for lb, c in cases.items()}
-            row = {
+            row: Dict[str, Any] = {
                 "app": app,
                 "dataset": SMALL_DATASETS[app],
                 "protocol": protocol,
@@ -93,7 +93,7 @@ def sweep_rows() -> List[dict]:
     return rows
 
 
-def render(rows: List[dict]) -> str:
+def render(rows: List[Dict[str, Any]]) -> str:
     """The protocol-zoo table: per app, one row per protocol with times
     normalized to that protocol's own 4K cell, the cross-protocol 4K
     ratio, and the unit size at which static aggregation stopped paying;

@@ -11,10 +11,13 @@ reports).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, List
 
 from repro.apps.base import AppRegistry
 from repro.bench.harness import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - only for the cells() annotation
+    from repro.bench.pool import SweepCell
 
 #: Paper Table 1 values where the OCR of the text is unambiguous:
 #: (application, dataset) -> (sequential seconds, speedup).
@@ -40,11 +43,11 @@ class Table1Row:
     paper_speedup: float | None
 
 
-def cells() -> list:
+def cells() -> List[SweepCell]:
     """The sweep cells Table 1 consumes (for parallel prewarming)."""
     from repro.bench.pool import SweepCell
 
-    out = []
+    out: List[SweepCell] = []
     for name in AppRegistry.names():
         for ds in sorted(AppRegistry.get(name).datasets):
             out.append(SweepCell.make(name, ds, "seq"))
@@ -55,7 +58,7 @@ def cells() -> list:
 def build_table1() -> List[Table1Row]:
     """Run every (application, dataset) sequentially and on 8 processors
     at the 4 KB unit."""
-    rows = []
+    rows: List[Table1Row] = []
     for name in AppRegistry.names():
         app_datasets = AppRegistry.get(name).datasets
         for ds in sorted(app_datasets):

@@ -1,0 +1,189 @@
+"""Command-line front end for the sweep farm.
+
+    python -m repro.farm submit figure1 protocols --store farm.sqlite
+    python -m repro.farm worker --store farm.sqlite
+    python -m repro.farm worker --store farm.sqlite --follow
+    python -m repro.farm serve  --store farm.sqlite --port 8008
+    python -m repro.farm status --store farm.sqlite
+
+``--store`` accepts a directory (the local JSON layout, byte-compatible
+with ``repro_results/cache`` -- the default, so an existing bench cache
+is already a warm farm store) or a ``*.sqlite`` / ``*.db`` /
+``sqlite:...`` path (single-file store safe for many concurrent
+writers).  Workers on any number of machines pointed at one shared
+store drain the queue together without further coordination.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.cache import DEFAULT_CACHE_DIR
+from repro.farm import service, submit, worker
+from repro.farm.store import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_GENERATIONS,
+    ResultStore,
+    open_store,
+)
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=str(DEFAULT_CACHE_DIR),
+        help="store to use: a directory (local JSON layout) or a "
+        ".sqlite/.db path (default: %(default)s)",
+    )
+
+
+def _open(args: argparse.Namespace) -> ResultStore:
+    return open_store(
+        args.store,
+        lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
+        max_generations=getattr(
+            args, "max_generations", DEFAULT_MAX_GENERATIONS
+        ),
+    )
+
+
+def _csv(text: Optional[str]) -> Optional[List[str]]:
+    return text.split(",") if text else None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    cells = submit.sweep_cells(
+        args.sweeps, apps=_csv(args.apps), protocols=_csv(args.protocols)
+    )
+    store = _open(args)
+    try:
+        report = store.submit(cells)
+    finally:
+        store.close()
+    print(f"submit: {report.summary()}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    store = _open(args)
+    try:
+        report = worker.work(
+            store,
+            worker_id=args.id,
+            max_cells=args.max_cells,
+            follow=args.follow,
+            poll_seconds=args.poll,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    finally:
+        store.close()
+    print(report.summary())
+    return 1 if report.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = _open(args)
+    try:
+        service.serve_forever(
+            store, args.host, args.port,
+            announce=lambda line: print(line, file=sys.stderr),
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = _open(args)
+    try:
+        status = store.status()
+    finally:
+        store.close()
+    print(status.summary())
+    for cell, error in status.failures:
+        print(f"  failed: {cell}: {error}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.farm",
+        description="Distributed sweep farm: content-addressed result "
+        "store, work-stealing workers, read-only results service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue sweep cells that are not yet computed"
+    )
+    p_submit.add_argument(
+        "sweeps", nargs="+", metavar="SWEEP",
+        choices=submit.sweep_names(),
+        help=f"sweeps to enqueue: {', '.join(submit.sweep_names())}",
+    )
+    p_submit.add_argument(
+        "--apps", default=None, metavar="APP[,APP]",
+        help="restrict to these applications",
+    )
+    p_submit.add_argument(
+        "--protocols", default=None, metavar="P[,P]",
+        help="restrict to these consistency protocols",
+    )
+    _add_store_arg(p_submit)
+    p_submit.set_defaults(run=_cmd_submit)
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and compute pending cells until drained"
+    )
+    p_worker.add_argument(
+        "--id", default=None, help="worker id (default: <hostname>-<pid>)"
+    )
+    p_worker.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after computing N cells",
+    )
+    p_worker.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new work instead of exiting when drained",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle poll interval with --follow (default: %(default)s)",
+    )
+    p_worker.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="lease duration before a crashed worker's cell is "
+        "reclaimable (default: %(default)s)",
+    )
+    p_worker.add_argument(
+        "--max-generations", type=int, default=DEFAULT_MAX_GENERATIONS,
+        metavar="N",
+        help="abandon a cell after N expired leases (default: %(default)s)",
+    )
+    _add_store_arg(p_worker)
+    p_worker.set_defaults(run=_cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="read-only HTTP results service over the store"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8008)
+    _add_store_arg(p_serve)
+    p_serve.set_defaults(run=_cmd_serve)
+
+    p_status = sub.add_parser("status", help="store and queue counters")
+    _add_store_arg(p_status)
+    p_status.set_defaults(run=_cmd_status)
+
+    args = parser.parse_args(argv)
+    result: int = args.run(args)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Work-stealing sweep workers.
+
+A worker is a loop over the shared store: claim the next pending cell,
+run it with the exact entry point the bench pool uses
+(:func:`repro.bench.harness.run_case`, which pins the per-cell identity
+seed), publish the result, repeat.  There is no coordinator and no
+worker registry -- determinism plus content addressing *is* the
+coordination.  Any number of ``python -m repro.farm worker`` processes
+on any number of machines pointed at the same store drain the queue
+together; a crashed worker's lease expires and its cell is reclaimed by
+whoever gets there first, under a new lease generation.
+
+A cell that fails deterministically (a fault plan that exhausts its
+retransmission budget raises
+:class:`repro.faults.channel.DroppedMessageError`) is marked failed
+immediately and never retried: every worker would fail it identically.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.bench.harness import CaseResult, run_case
+from repro.faults.channel import DroppedMessageError
+from repro.farm.store import Claim, ResultStore
+
+#: Progress callback: one human-readable line per event.
+Progress = Callable[[str], None]
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique enough to attribute leases."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerReport:
+    """What one worker loop did."""
+
+    worker: str = ""
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    cells: List[str] = field(default_factory=list)
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        tail = f", {self.failed} failed" if self.failed else ""
+        return (
+            f"worker {self.worker}: {self.claimed} cells claimed, "
+            f"{self.completed} completed{tail}"
+        )
+
+
+def run_claim(claim: Claim) -> CaseResult:
+    """Compute one claimed cell (bit-identical to any other executor)."""
+    cell = claim.cell
+    return run_case(cell.app, cell.dataset, cell.label, **cell.kwargs)
+
+
+def work(
+    store: ResultStore,
+    worker_id: Optional[str] = None,
+    max_cells: Optional[int] = None,
+    follow: bool = False,
+    poll_seconds: float = 0.5,
+    max_polls: Optional[int] = None,
+    progress: Optional[Progress] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> WorkerReport:
+    """Drain the store's queue.
+
+    Without ``follow`` the loop exits when a claim comes back empty
+    (queue drained, or every remaining cell is leased elsewhere -- the
+    other workers will finish those).  With ``follow`` it polls every
+    ``poll_seconds`` for new work, forever (or until ``max_polls`` empty
+    claims, which exists for tests and bounded smoke runs).
+    """
+    report = WorkerReport(worker=worker_id or default_worker_id())
+    empty_polls = 0
+    while max_cells is None or report.claimed < max_cells:
+        claim = store.claim(report.worker)
+        if claim is None:
+            if not follow:
+                break
+            empty_polls += 1
+            if max_polls is not None and empty_polls >= max_polls:
+                break
+            sleep(poll_seconds)
+            continue
+        empty_polls = 0
+        report.claimed += 1
+        report.cells.append(str(claim.cell))
+        if progress:
+            progress(f"run  {claim.cell} (generation {claim.generation})")
+        try:
+            result = run_claim(claim)
+        except DroppedMessageError as exc:
+            report.failed += 1
+            report.failures.append((str(claim.cell), str(exc)))
+            store.fail(claim, str(exc))
+            if progress:
+                progress(f"FAIL {claim.cell}: {exc}")
+            continue
+        store.complete(claim, result)
+        report.completed += 1
+        if progress:
+            progress(f"done {claim.cell}")
+    return report

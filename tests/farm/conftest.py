@@ -1,0 +1,30 @@
+"""Shared fixtures for the farm suite.
+
+``jacobi_results`` computes the four Jacobi golden-matrix cells once per
+session (the cheapest full label sweep) so the store/service tests can
+populate stores without re-running simulations.
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import CaseResult, run_case
+from repro.bench.pool import SweepCell
+
+JACOBI_LABELS = ("4K", "8K", "16K", "Dyn")
+
+
+@pytest.fixture(scope="session")
+def jacobi_results() -> Dict[str, CaseResult]:
+    return {
+        label: run_case("Jacobi", "1Kx1K", label) for label in JACOBI_LABELS
+    }
+
+
+@pytest.fixture(scope="session")
+def jacobi_cells() -> Dict[str, SweepCell]:
+    return {
+        label: SweepCell.make("Jacobi", "1Kx1K", label)
+        for label in JACOBI_LABELS
+    }

@@ -1,0 +1,200 @@
+"""Worker-loop mechanics plus the two-process drain acceptance test.
+
+The acceptance test is the PR's core claim made executable: two
+independent ``python -m repro.farm worker`` processes pointed at one
+sqlite store drain a submitted sweep, every cell is computed exactly
+once (all lease generations stay at 1), and the stored results match
+the serial golden baselines field-for-field.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.golden import GOLDEN_FIELDS
+from repro.bench.harness import CaseResult
+from repro.bench.pool import SweepCell
+from repro.faults.channel import DroppedMessageError
+from repro.farm import submit, worker
+from repro.farm.store import ResultStore, open_store
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN_JACOBI = REPO_ROOT / "benchmarks" / "golden" / "Jacobi.json"
+
+
+def _fake_run_case(results: Dict[str, CaseResult]):
+    def fake(app: str, dataset: str, label: str, **kwargs) -> CaseResult:
+        return results[label]
+
+    return fake
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    st = open_store(str(tmp_path / "store"), lease_ttl=60.0)
+    yield st
+    st.close()
+
+
+class TestWorkMechanics:
+    def test_drains_queue_and_publishes_results(
+        self, store, jacobi_cells, jacobi_results, monkeypatch
+    ):
+        monkeypatch.setattr(
+            worker, "run_case", _fake_run_case(jacobi_results)
+        )
+        store.submit(list(jacobi_cells.values()))
+        lines: List[str] = []
+        report = worker.work(store, worker_id="w0", progress=lines.append)
+        assert report.claimed == len(jacobi_cells)
+        assert report.completed == len(jacobi_cells)
+        assert report.failed == 0
+        assert "w0" in report.summary()
+        assert any(line.startswith("done ") for line in lines)
+        status = store.status()
+        assert status.done == len(jacobi_cells)
+        assert status.queued == 0
+        for label, cell in jacobi_cells.items():
+            got = store.get_result(cell)
+            assert got == jacobi_results[label]
+        # A second worker finds nothing left to do.
+        again = worker.work(store, worker_id="w1")
+        assert again.claimed == 0
+
+    def test_max_cells_bounds_the_loop(
+        self, store, jacobi_cells, jacobi_results, monkeypatch
+    ):
+        monkeypatch.setattr(
+            worker, "run_case", _fake_run_case(jacobi_results)
+        )
+        store.submit(list(jacobi_cells.values()))
+        report = worker.work(store, worker_id="w0", max_cells=2)
+        assert report.claimed == 2
+        assert store.status().queued == len(jacobi_cells) - 2
+
+    def test_follow_polls_until_max_polls(self, store):
+        naps: List[float] = []
+        report = worker.work(
+            store,
+            worker_id="w0",
+            follow=True,
+            poll_seconds=0.01,
+            max_polls=3,
+            sleep=naps.append,
+        )
+        assert report.claimed == 0
+        # Poll 3 breaks before sleeping, so two naps for three polls.
+        assert naps == [0.01, 0.01]
+
+    def test_deterministic_failure_is_not_retried(
+        self, store, jacobi_cells, jacobi_results, monkeypatch
+    ):
+        def explode(app, dataset, label, **kwargs):
+            raise DroppedMessageError(7, "diff_request", 3)
+
+        monkeypatch.setattr(worker, "run_case", explode)
+        cell = jacobi_cells["4K"]
+        store.submit([cell])
+        report = worker.work(store, worker_id="w0")
+        assert report.claimed == 1
+        assert report.completed == 0
+        assert report.failed == 1
+        assert "failed" in report.summary()
+        status = store.status()
+        assert status.failed == 1
+        assert "budget exhausted" in status.failures[0][1]
+        # Even a healthy worker never sees the cell again.
+        monkeypatch.setattr(
+            worker, "run_case", _fake_run_case(jacobi_results)
+        )
+        again = worker.work(store, worker_id="w1")
+        assert again.claimed == 0
+        assert store.get_result(cell) is None
+
+    def test_default_worker_id_mentions_pid(self):
+        assert str(os.getpid()) in worker.default_worker_id()
+
+    def test_run_claim_forwards_cell_kwargs(self, store, monkeypatch):
+        seen = {}
+
+        def spy(app, dataset, label, **kwargs):
+            seen.update(app=app, dataset=dataset, label=label, **kwargs)
+            raise DroppedMessageError(1, "page_request", 1)
+
+        monkeypatch.setattr(worker, "run_case", spy)
+        cell = SweepCell.make("Jacobi", "1Kx1K", "4K", unit_pages=2)
+        store.submit([cell])
+        worker.work(store, worker_id="w0")
+        assert seen == {
+            "app": "Jacobi", "dataset": "1Kx1K", "label": "4K",
+            "unit_pages": 2,
+        }
+
+
+def _farm_cli(args: List[str], cwd: pathlib.Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.farm", *args],
+        cwd=str(cwd), env=env, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+def test_two_cli_workers_drain_sqlite_store_to_golden(tmp_path):
+    """Acceptance: two concurrent worker processes produce exactly the
+    serial golden numbers, with every cell computed on generation 1."""
+    store_spec = str(tmp_path / "farm.sqlite")
+    cells = submit.sweep_cells(["golden"], apps=["Jacobi"])
+    assert len(cells) == 4  # Jacobi x 1Kx1K x (4K, 8K, 16K, Dyn)
+
+    proc = _farm_cli(
+        ["submit", "golden", "--apps", "Jacobi", "--store", store_spec],
+        cwd=tmp_path,
+    )
+    out, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, err
+    assert "4 enqueued" in out
+
+    workers = [
+        _farm_cli(["worker", "--id", f"w{i}", "--store", store_spec],
+                  cwd=tmp_path)
+        for i in range(2)
+    ]
+    reports = [p.communicate(timeout=600) for p in workers]
+    for p, (out, err) in zip(workers, reports, strict=True):
+        assert p.returncode == 0, err
+
+    claimed = sum(
+        int(out.split(" cells claimed")[0].rsplit(" ", 1)[-1])
+        for out, _ in reports
+    )
+    assert claimed == 4  # no cell claimed twice across the fleet
+
+    store = open_store(store_spec)
+    try:
+        status = store.status()
+        assert status.results == 4
+        assert status.done == 4
+        assert status.failed == 0
+        for entry in store.backend.queue_entries():
+            assert entry.state == "done"
+            assert entry.generation == 1  # single lease generation each
+        golden = json.loads(GOLDEN_JACOBI.read_text())
+        for cell in cells:
+            result = store.get_result(cell)
+            assert result is not None, f"missing {cell}"
+            expected = golden[cell.dataset][cell.label]
+            for field in GOLDEN_FIELDS:
+                assert getattr(result, field) == expected[field], (
+                    f"{cell}: {field}"
+                )
+    finally:
+        store.close()
