@@ -87,6 +87,10 @@ class Shallow(Application):
         "1Kx0.5K": {"nrows": 1024, "ncols": 32, "iters": 5},  # 4 KB columns
         "2Kx0.5K": {"nrows": 2048, "ncols": 32, "iters": 5},  # 8 KB columns
         "4Kx0.5K": {"nrows": 4096, "ncols": 32, "iters": 5},  # 16 KB columns
+        # Paper full size: the unscaled 512x512 grid (2 KB columns, all
+        # 512 of them).  Part of the full-size golden tier; every worker
+        # access is already a block operation, so it runs at bulk speed.
+        "512x512": {"nrows": 512, "ncols": 512, "iters": 5},
     }
 
     def heap_bytes(self, dataset: str) -> int:

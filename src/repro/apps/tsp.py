@@ -352,9 +352,19 @@ class TSP(Application):
         h, free, meta = handles["heap"], handles["free"], handles["meta"]
         proc.acquire(QLOCK)
         head, tail = (int(x) for x in meta.read(proc, 2, 2))
-        for slot in claimed:
-            free.write(proc, tail % mt, np.array([slot], np.int32))
-            tail += 1
+        if claimed:
+            # Recycling the claimed slots is data-independent (the ring
+            # indices are known up front), so the whole batch goes
+            # through one bulk scatter -- semantically the former
+            # in-order loop of one-word writes.  The branch-and-bound
+            # queue operations below stay word-granular: each read
+            # depends on the previous one (head chases the data).
+            starts = (tail + np.arange(len(claimed), dtype=np.int64)) % mt
+            free.scatter(
+                proc, starts,
+                np.asarray(claimed, dtype=np.int32).reshape(-1, 1),
+            )
+            tail += len(claimed)
         for lb, ncost, path, c in all_children:
             if head == tail:
                 raise RuntimeError("tour pool exhausted")

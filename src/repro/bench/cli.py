@@ -32,6 +32,7 @@ from repro.bench import (
     golden,
     micro,
     pool,
+    profile,
     protocol_sweep,
     table1,
 )
@@ -195,8 +196,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--full",
         action="store_true",
         help="widen --check / --refresh-golden with the paper full-size "
-        "datasets (Barnes 32K bodies, Jacobi 512x512; default protocol, "
-        "4K and Dyn units) -- only practical under the bulk fast path",
+        "datasets (Barnes 32K bodies, Jacobi 512x512, Shallow 512x512; "
+        "default protocol, 4K and Dyn units).  This is the DEFAULT for "
+        "bulk mode since the vectorized protocol kernels made the full "
+        "sizes cheap; the flag remains to force the tier onto a "
+        "scalar-mode check",
+    )
+    parser.add_argument(
+        "--small-only",
+        action="store_true",
+        help="restrict --check / --refresh-golden to the scaled small "
+        "datasets (opts out of the default full-size tier)",
     )
     parser.add_argument(
         "--access-mode",
@@ -215,6 +225,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also write Chrome-trace timelines of the figure-1 "
         "applications (viewable in Perfetto) into this directory",
     )
+    parser.add_argument(
+        "--profile-case",
+        type=str,
+        default=profile.DEFAULT_CASE,
+        metavar="APP,DATASET,LABEL",
+        help="cell the 'profile' experiment measures "
+        "(default: %(default)s, the heaviest full-size figure-1 cell)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=pathlib.Path,
+        default=profile.DEFAULT_OUT,
+        help="directory the 'profile' experiment writes its .txt/.json "
+        "reports into (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     doing_golden = args.check or args.refresh_golden
     if not args.experiments and args.trace_out is None and not doing_golden:
@@ -223,10 +248,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "/ --refresh-golden"
         )
     for name in args.experiments:
-        if name != "all" and name not in COMMANDS:
+        if name not in ("all", "profile") and name not in COMMANDS:
             parser.error(
-                f"unknown experiment {name!r} "
-                f"(choose from {', '.join(sorted(COMMANDS) + ['all'])})"
+                f"unknown experiment {name!r} (choose from "
+                f"{', '.join(sorted(COMMANDS) + ['all', 'profile'])})"
             )
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -250,12 +275,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
     else:
         protocols = (golden.DEFAULT_PROTOCOL,)
+    if args.small_only and args.full:
+        parser.error("--small-only and --full are mutually exclusive")
+    # Full-size cells are the default tier for bulk-mode --check and
+    # --refresh-golden (keeping the refresh->check roundtrip closed);
+    # scalar-mode decomposes every access into words, which multiplies
+    # protocol bookkeeping, so it stays small unless --full forces it.
+    full = args.full or (
+        (args.check or args.refresh_golden)
+        and not args.small_only
+        and args.access_mode == "bulk"
+    )
     previous_disk = ResultCache.disk()
     ResultCache.configure(
         None if args.no_cache else cache.DiskCache(args.cache_dir)
     )
     try:
         names = sorted(COMMANDS) if "all" in args.experiments else args.experiments
+        if "profile" in names:
+            # Profiled runs are never cached (the profiler needs the
+            # simulation to actually execute) and run after the cached
+            # experiments so their cells stay warm for the renderers.
+            names = [n for n in names if n != "profile"]
+            text = profile.run_and_write(args.profile_case, args.profile_out)
+            print(text)
+            print()
         if names:
             report = pool.run_cells(_cells_for(names), jobs=args.jobs)
             print(f"# sweep: {report.summary()}", file=sys.stderr)
@@ -272,7 +316,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.refresh_golden:
             written = golden.write_golden(
                 args.golden_dir, apps=apps, jobs=args.jobs,
-                protocols=protocols, full=args.full,
+                protocols=protocols, full=full,
             )
             for path in written:
                 print(f"wrote {path}")
@@ -280,7 +324,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             check_report = golden.check(
                 args.golden_dir, apps=apps, jobs=args.jobs,
                 protocols=protocols, access_mode=args.access_mode,
-                full=args.full,
+                full=full,
             )
             print(check_report.render())
             if not check_report.ok:

@@ -67,10 +67,13 @@ SMALL_DATASETS = {
 GOLDEN_LABELS = ("4K", "8K", "16K", "Dyn")
 
 #: Paper full-size datasets (unscaled problem sizes), only reachable at
-#: simulator speed through the bulk-access fast path.  Opt-in via
-#: ``--full``: they ride in the same per-app baseline files under their
-#: own dataset key, default protocol only, at a reduced label set.
-FULL_DATASETS = {"Barnes": "32K", "Jacobi": "512x512"}
+#: simulator speed through the bulk-access fast path and the vectorized
+#: protocol kernels.  The **default tier** of the bulk ``--check`` gate
+#: (opt out with ``--small-only``; scalar-mode checks stay small-only
+#: unless ``--full`` is forced): they ride in the same per-app baseline
+#: files under their own dataset key, default protocol only, at a
+#: reduced label set.
+FULL_DATASETS = {"Barnes": "32K", "Jacobi": "512x512", "Shallow": "512x512"}
 
 FULL_LABELS = ("4K", "Dyn")
 

@@ -1,12 +1,14 @@
 """Performance-regression smoke gate for the bulk-access fast path.
 
     python -m repro.bench.perf_smoke
-    python -m repro.bench.perf_smoke --repeats 5 --bench path/to/BENCH_bulk.json
+    python -m repro.bench.perf_smoke --repeats 5 --bench BENCH_vec.json
 
-``benchmarks/BENCH_bulk.json`` records the measured figure-1 speedup of
-the bulk region-access port over the pre-port per-element baseline,
-plus one designated figure-1 smoke cell with its measured bulk-mode
-wall time.  This gate re-times that cell under the bulk fast path
+``BENCH_bulk.json`` (repo root) records the measured figure-1 speedup
+of the bulk region-access port over the pre-port per-element baseline;
+``BENCH_vec.json`` records the vectorized protocol kernels' full-size
+sweep timings.  Each carries one designated smoke cell with its
+measured bulk-mode wall time.  This gate re-times that cell under the
+bulk fast path
 (best of ``--repeats``) and fails when it runs more than
 ``max_regression`` slower than recorded -- the failure mode this smoke
 exists to catch is a change that silently knocks the fast path down a
@@ -32,7 +34,10 @@ from typing import Callable, Optional, Sequence
 from repro.bench.harness import run_case
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
-DEFAULT_BENCH = REPO_ROOT / "benchmarks" / "BENCH_bulk.json"
+#: Benchmark records live at the repository root (BENCH_bulk.json is the
+#: PR-7 bulk-port record; BENCH_vec.json the vectorized-kernel record --
+#: gate against it with ``--bench BENCH_vec.json``).
+DEFAULT_BENCH = REPO_ROOT / "BENCH_bulk.json"
 
 
 def time_cell(app: str, dataset: str, label: str, repeats: int) -> float:
@@ -56,8 +61,8 @@ def _timed(fn: Callable[[], object]) -> float:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.perf_smoke",
-        description="Fail when the bulk fast path's figure-1 smoke cell "
-        "regresses vs benchmarks/BENCH_bulk.json.",
+        description="Fail when the bulk fast path's designated smoke "
+        "cell regresses vs a repo-root BENCH_*.json record.",
     )
     parser.add_argument(
         "--bench",

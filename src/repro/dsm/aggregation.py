@@ -60,6 +60,14 @@ class Aggregator:
     def on_invalidate(self, unit: int) -> None:
         """Called when a write notice invalidates ``unit``."""
 
+    def on_invalidate_many(self, units: np.ndarray) -> None:
+        """Batch form of :meth:`on_invalidate` over one interval's units
+        (distinct, in write-notice order).  The default loops; strategies
+        whose reaction is a pure mask update override it with one
+        vectorized assignment."""
+        for unit in units.tolist():
+            self.on_invalidate(unit)
+
 
 class StaticAggregator(Aggregator):
     """Fixed consistency unit of ``config.unit_pages`` hardware pages."""
@@ -70,12 +78,12 @@ class StaticAggregator(Aggregator):
 
     def ensure_valid(self, word0: int, nwords: int) -> None:
         proc = self.proc
-        pending = proc.pending
-        if not pending:
+        if not proc.pending:
             return
+        pending_n = proc.pending_n
         wpu = self._wpu
         for unit in range(word0 // wpu, (word0 + nwords - 1) // wpu + 1):
-            if pending.get(unit):
+            if pending_n[unit]:
                 # Each invalid unit is a separate access miss: with a
                 # static unit there is no cross-unit combining, so a
                 # region spanning two invalid units pays two sequential
@@ -83,17 +91,13 @@ class StaticAggregator(Aggregator):
                 proc.fetch([unit])
 
     def ready(self, units) -> bool:
-        pending = self.proc.pending
-        if not pending:
+        if not self.proc.pending:
             return True
-        return not any(pending.get(u) for u in units)
+        pending_n = self.proc.pending_n
+        return not any(pending_n[u] for u in units)
 
     def dirty_units(self) -> Optional[np.ndarray]:
-        dirty = np.zeros(self.proc.layout.nunits, dtype=bool)
-        for unit, diffs in self.proc.pending.items():
-            if diffs:
-                dirty[unit] = True
-        return dirty
+        return self.proc.pending_n > 0
 
 
 class DynamicAggregator(Aggregator):
@@ -120,44 +124,51 @@ class DynamicAggregator(Aggregator):
         nunits = proc.layout.nunits
         # Pages start access-invalid: the algorithm keeps a page invalid
         # until its first access so that every first access is observed.
-        self.access_valid = [False] * nunits
-        self.group_of: Dict[int, List[int]] = {}
+        self.access_valid = np.zeros(nunits, dtype=bool)
+        # Group membership is array-indexed: ``_group_id[page]`` names the
+        # page's group (or -1), ``_groups`` maps that id to the shared
+        # member list in access order.  Equivalent to the former
+        # page -> shared-list dict, with O(1) array lookups on the access
+        # path and vectorized clears on invalidation.
+        self._group_id = np.full(nunits, -1, dtype=np.int32)
+        self._groups: Dict[int, List[int]] = {}
+        self._next_gid = 0
         self._accessed: List[int] = []
-        self._accessed_set = set()
-        self._group_fetched = set()
+        self._accessed_mask = np.zeros(nunits, dtype=bool)
+        self._group_fetched = np.zeros(nunits, dtype=bool)
 
     # ------------------------------------------------------------------
     def ensure_valid(self, word0: int, nwords: int) -> None:
         proc = self.proc
+        pending_n = proc.pending_n
+        valid = self.access_valid
         for page in proc.layout.units_of_range(word0, nwords):
-            if proc.pending.get(page) or not self.access_valid[page]:
+            if pending_n[page] or not valid[page]:
                 self._fault(page)
 
     def ready(self, units) -> bool:
-        pending = self.proc.pending
+        pending_n = self.proc.pending_n
         valid = self.access_valid
-        return all(valid[u] and not pending.get(u) for u in units)
+        return all(valid[u] and not pending_n[u] for u in units)
 
     def dirty_units(self) -> Optional[np.ndarray]:
-        dirty = ~np.asarray(self.access_valid, dtype=bool)
-        for page, diffs in self.proc.pending.items():
-            if diffs:
-                dirty[page] = True
-        return dirty
+        return ~self.access_valid | (self.proc.pending_n > 0)
 
     def _fault(self, page: int) -> None:
         proc = self.proc
+        pending_n = proc.pending_n
         self._record_access(page)
-        self._group_fetched.discard(page)
-        group = self.group_of.get(page, [page])
-        fetch_set = [q for q in group if proc.pending.get(q)]
-        if page not in fetch_set and proc.pending.get(page):
+        self._group_fetched[page] = False
+        gid = self._group_id[page]
+        group = self._groups[gid] if gid >= 0 else [page]
+        fetch_set = [q for q in group if pending_n[q]]
+        if page not in fetch_set and pending_n[page]:
             fetch_set.insert(0, page)
         self.access_valid[page] = True
         if fetch_set:
             for q in fetch_set:
                 if q != page:
-                    self._group_fetched.add(q)
+                    self._group_fetched[q] = True
             if proc.trace is not None and len(group) > 1:
                 proc.trace.on_group_fetch(
                     proc.pid,
@@ -174,8 +185,8 @@ class DynamicAggregator(Aggregator):
             proc.monitoring_fault(page)
 
     def _record_access(self, page: int) -> None:
-        if page not in self._accessed_set:
-            self._accessed_set.add(page)
+        if not self._accessed_mask[page]:
+            self._accessed_mask[page] = True
             self._accessed.append(page)
 
     # ------------------------------------------------------------------
@@ -184,14 +195,16 @@ class DynamicAggregator(Aggregator):
         that were group-fetched but never accessed), then re-chunk the
         pages accessed during the ending interval into new groups of at
         most ``max_group_pages`` (not necessarily contiguous)."""
-        for page in self._group_fetched:
-            if page not in self._accessed_set:
-                if self.proc.trace is not None and page in self.group_of:
-                    self.proc.trace.on_group_dissolve(
-                        self.proc.pid, self.proc.clock.now, page
-                    )
-                self._remove_from_group(page)
-        self._group_fetched.clear()
+        if self._group_fetched.any():
+            accessed_mask = self._accessed_mask
+            for page in np.flatnonzero(self._group_fetched).tolist():
+                if not accessed_mask[page]:
+                    if self.proc.trace is not None and self._group_id[page] >= 0:
+                        self.proc.trace.on_group_dissolve(
+                            self.proc.pid, self.proc.clock.now, page
+                        )
+                    self._remove_from_group(page)
+            self._group_fetched[:] = False
 
         if self._accessed:
             for page in self._accessed:
@@ -201,28 +214,51 @@ class DynamicAggregator(Aggregator):
                 chunk = self._accessed[i : i + maxg]
                 if len(chunk) > 1:
                     group = list(chunk)
+                    gid = self._next_gid
+                    self._next_gid = gid + 1
+                    self._groups[gid] = group
                     for page in group:
-                        self.group_of[page] = group
+                        self._group_id[page] = gid
                     if self.proc.trace is not None:
                         self.proc.trace.on_group_build(
                             self.proc.pid, self.proc.clock.now, tuple(group)
                         )
-        self._accessed.clear()
-        self._accessed_set.clear()
+            self._accessed.clear()
+            self._accessed_mask[:] = False
 
     def _remove_from_group(self, page: int) -> None:
-        group = self.group_of.pop(page, None)
-        if group is None:
+        gid = int(self._group_id[page])
+        if gid < 0:
             return
+        self._group_id[page] = -1
+        group = self._groups[gid]
         if page in group:
             group.remove(page)
         if len(group) == 1:
-            self.group_of.pop(group[0], None)
+            last = group[0]
+            if self._group_id[last] == gid:
+                self._group_id[last] = -1
+            del self._groups[gid]
+        elif not group:
+            del self._groups[gid]
 
     def on_invalidate(self, unit: int) -> None:
         """An invalidated page must fault again on its next access, which
         re-observes the access pattern."""
         self.access_valid[unit] = False
+
+    def on_invalidate_many(self, units: np.ndarray) -> None:
+        self.access_valid[units] = False
+
+    @property
+    def group_of(self) -> Dict[int, List[int]]:
+        """page -> member list (shared per group), reconstructed from the
+        array-indexed state for introspection and tests."""
+        return {
+            int(page): self._groups[int(gid)]
+            for page, gid in enumerate(self._group_id.tolist())
+            if gid >= 0
+        }
 
 
 def make_aggregator(proc: LrcProc) -> Aggregator:

@@ -20,8 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.dsm.diff import Diff
 from repro.dsm.vc import VectorClock
+
+_EMPTY_UNITS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -37,6 +41,14 @@ class Interval:
     """Global close-order stamp; a linear extension of happens-before."""
     diffs: Dict[int, Diff] = field(default_factory=dict)
     """unit id -> diff for every unit written during the interval."""
+    units_arr: np.ndarray = field(default_factory=lambda: _EMPTY_UNITS)
+    """The written units as an int64 array in ``diffs`` insertion order,
+    precomputed at close time so notice application can index per-unit
+    metadata arrays in one vectorized step per interval."""
+    units_list: List[int] = field(default_factory=list)
+    """``units_arr`` as plain Python ints (same order); the per-notice
+    bookkeeping that still builds :class:`WriteNotice` objects iterates
+    this without paying numpy scalar extraction."""
 
     @property
     def units(self) -> Iterable[int]:
@@ -93,12 +105,17 @@ class IntervalStore:
                 f"proc {proc} closing interval {vc[proc]}, expected {expected}"
             )
         self._commit_counter += 1
+        units_list = list(diffs.keys())
         interval = Interval(
             proc=proc,
             index=expected,
             vc=vc.copy(),
             commit_seq=self._commit_counter,
             diffs=dict(diffs),
+            units_arr=np.asarray(units_list, dtype=np.int64)
+            if units_list
+            else _EMPTY_UNITS,
+            units_list=units_list,
         )
         self._by_proc[proc][expected] = interval
         self._closed_count[proc] = expected

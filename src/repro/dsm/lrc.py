@@ -34,7 +34,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.dsm.address_space import AddressSpace, SharedHeapLayout
-from repro.dsm.diff import Diff, apply_diff, create_diff, merge_diffs
+from repro.dsm.diff import (
+    DIFF_HEADER_BYTES,
+    RUN_HEADER_BYTES,
+    WORD,
+    Diff,
+    apply_diff,
+    create_diff,
+    merge_diffs,
+)
 from repro.dsm.intervals import IntervalStore, WriteNotice
 from repro.dsm.vc import VectorClock
 from repro.sim.clock import Clock
@@ -78,8 +86,23 @@ class LrcProc:
         )
         self.vc = VectorClock(config.nprocs)
         self.pending: Dict[int, List[WriteNotice]] = {}
+        self.pending_n = np.zeros(layout.nunits, dtype=np.int32)
+        """Per-unit mirror of ``len(self.pending[unit])``.  The dict of
+        :class:`WriteNotice` lists stays the source of truth (fetch and
+        the barrier GC walk it), but every hot-path *emptiness* question
+        -- aggregator readiness, dirty masks, invalidation counting --
+        reads this preallocated array instead of hashing unit ids.
+        Every site that mutates ``pending`` updates the mirror in the
+        same statement block; ``tests/properties`` pins the invariant."""
         self.twins: Dict[int, np.ndarray] = {}
-        self._twin_persist = set()
+        self.twinned = np.zeros(layout.nunits, dtype=bool)
+        """Per-unit mirror of ``unit in self.twins``: the batched diff
+        kernel and the scatter fast path test twin presence as one
+        vectorized mask instead of per-unit dict lookups."""
+        self._twin_pool: Optional[np.ndarray] = None
+        self._twin_slot = np.full(layout.nunits, -1, dtype=np.int32)
+        self._twin_count = 0
+        self._twin_persist = np.zeros(layout.nunits, dtype=bool)
         """Units whose (logical) twin survives from an earlier interval:
         in TreadMarks a twin persists across releases until the unit is
         invalidated or its diff is garbage collected, so re-dirtying such
@@ -345,10 +368,7 @@ class LrcProc:
         if dirty is None:
             return None
         if need_twins:
-            untwinned = np.ones(self.layout.nunits, dtype=bool)
-            if self.twins:
-                untwinned[list(self.twins.keys())] = False
-            dirty = dirty | untwinned
+            dirty = dirty | ~self.twinned
         return dirty
 
     @staticmethod
@@ -525,8 +545,7 @@ class LrcProc:
     def _bulk_write_prep_needed(self, units: List[int]) -> bool:
         """Whether :meth:`_bulk_write_prep` would do anything for a
         scatter over ``units`` (conservative True is safe)."""
-        twins = self.twins
-        return any(u not in twins for u in units)
+        return not self.twinned[units].all()
 
     def _bulk_write_prep(self, word0: int, nwords: int) -> None:
         """Per-range first-write bookkeeping on the scatter fast path --
@@ -549,13 +568,34 @@ class LrcProc:
     # Twinning and interval closing
     # ------------------------------------------------------------------
     def _make_twin(self, unit: int) -> None:
-        self.twins[unit] = self.space.unit_view(unit).copy()
-        if unit in self._twin_persist:
+        # Twins live in rows of a preallocated pool (reused across
+        # intervals, grown geometrically) so an interval's worth of twins
+        # costs no per-unit allocations and the batched diff kernel can
+        # gather them with one fancy index.  ``self.twins[unit]`` is a
+        # *view* of the pool row: protocols that patch a live twin
+        # (hlrc/erc flushes) write through it unchanged.
+        pool = self._twin_pool
+        if pool is None or self._twin_count == pool.shape[0]:
+            cap = 64 if pool is None else pool.shape[0] * 2
+            grown = np.empty((cap, self._wpu), dtype=np.uint32)
+            if pool is not None:
+                grown[: pool.shape[0]] = pool
+                slot_of = self._twin_slot
+                for u in self.twins:
+                    self.twins[u] = grown[slot_of[u]]
+            self._twin_pool = pool = grown
+        slot = self._twin_count
+        self._twin_count = slot + 1
+        pool[slot] = self.space.unit_view(unit)
+        self.twins[unit] = pool[slot]
+        self._twin_slot[unit] = slot
+        self.twinned[unit] = True
+        if self._twin_persist[unit]:
             # The real system's twin from an earlier interval is still in
             # place (no invalidation arrived, no diff was requested):
             # re-dirtying the unit is free.
             return
-        self._twin_persist.add(unit)
+        self._twin_persist[unit] = True
         self.stats.twins += 1
         self.stats.mprotects += 1  # remove write protection
         if self.trace is not None:
@@ -577,17 +617,125 @@ class LrcProc:
         word-compare scan happens when a diff is first requested."""
         if not self.twins:
             return
-        diffs: Dict[int, Diff] = {}
-        for unit in sorted(self.twins):
-            diffs[unit] = create_diff(
-                unit, self.twins[unit], self.space.unit_view(unit)
-            )
+        diffs = self._interval_diffs()
         self.vc.tick(self.pid)
         self.store.close_interval(self.pid, self.vc, diffs)
         self.stats.intervals_closed += 1
         self.stats.write_notices_sent += len(diffs)
         self.unsent_notices += len(diffs)
         self.twins.clear()
+        self.twinned[:] = False
+        self._twin_count = 0
+
+    def _interval_diffs(self) -> Dict[int, Diff]:
+        """Word-compare every twinned unit against current memory in one
+        batched pass; bit-identical to :meth:`_interval_diffs_ref` (the
+        per-unit ``create_diff`` loop, kept as the differential oracle).
+
+        Identity argument: ``np.flatnonzero(self.twinned)`` is the
+        ascending unit order of ``sorted(self.twins)``; a raveled
+        ``np.flatnonzero`` over the stacked ``(unit, word)`` inequality
+        matrix enumerates changed words by unit then word offset --
+        exactly the reference loop's per-unit ``np.nonzero`` outputs
+        concatenated; and run counting per segment reproduces
+        ``diff._wire_bytes`` because in flat coordinates a run can only
+        continue across a row boundary as ``offset == 0`` (which we
+        break explicitly), so segment boundaries always break a run.
+
+        The kernel is density-adaptive: bulk writers that dirty most of
+        a unit (Jacobi/Shallow interior sweeps) pay mainly for the
+        idx/value copies, and a per-row pass over the inequality matrix
+        stays cache-resident, while the flat kernel's int64 index
+        arrays would double the traffic; sparse intervals (false-shared
+        pages, Barnes/TSP scatter) are where the flat one-pass kernel
+        wins.  Both branches produce identical :class:`Diff` contents.
+        """
+        units = np.flatnonzero(self.twinned)
+        wpu = self._wpu
+        if units.shape[0] <= 64:
+            # Few twinned units: the per-unit view loop touches no
+            # memory beyond the changed words themselves, while the
+            # batched kernel would copy every twin and current unit
+            # into stacked matrices first.  Batching only pays once
+            # the per-call numpy overhead amortizes over many units.
+            return self._interval_diffs_ref()
+        cur2d = self.space.words.reshape(-1, wpu)[units]
+        twin2d = self._twin_pool[self._twin_slot[units]]
+        ne = twin2d != cur2d
+        nchanged = int(np.count_nonzero(ne))
+        nunits_twinned = units.shape[0]
+        diffs: Dict[int, Diff] = {}
+        if nchanged * 4 > nunits_twinned * wpu:
+            # Dense: >25% of twinned words changed.
+            for i, unit in enumerate(units.tolist()):
+                idx = np.flatnonzero(ne[i])
+                n = idx.shape[0]
+                idx32 = idx.astype(np.int32)
+                if n:
+                    runs = 1 + int(np.count_nonzero(np.diff(idx32) != 1))
+                    wire = (
+                        DIFF_HEADER_BYTES + runs * RUN_HEADER_BYTES + n * WORD
+                    )
+                else:
+                    wire = DIFF_HEADER_BYTES
+                diffs[unit] = Diff(
+                    unit=unit,
+                    idx=idx32,
+                    values=cur2d[i, idx],
+                    wire_bytes=wire,
+                    nwords=int(n),
+                )
+            return diffs
+        flat = np.flatnonzero(ne.reshape(-1))
+        vals = cur2d.reshape(-1)[flat]
+        cc = flat % wpu
+        cc32 = cc.astype(np.int32)
+        seg_start = np.searchsorted(
+            flat, np.arange(nunits_twinned) * wpu
+        )
+        nruns_total = 0
+        run_before = seg_start  # placeholder when nchanged == 0
+        if nchanged:
+            new_run = np.empty(nchanged, dtype=bool)
+            new_run[0] = True
+            np.logical_or(
+                np.diff(flat) != 1, cc[1:] == 0, out=new_run[1:]
+            )
+            run_pos = np.flatnonzero(new_run)
+            run_before = np.searchsorted(run_pos, seg_start)
+            nruns_total = run_pos.shape[0]
+        for i, unit in enumerate(units.tolist()):
+            s = int(seg_start[i])
+            e = int(seg_start[i + 1]) if i + 1 < nunits_twinned else nchanged
+            n = e - s
+            if n:
+                rb = (
+                    int(run_before[i + 1])
+                    if i + 1 < nunits_twinned
+                    else nruns_total
+                )
+                runs = rb - int(run_before[i])
+                wire = DIFF_HEADER_BYTES + runs * RUN_HEADER_BYTES + n * WORD
+            else:
+                wire = DIFF_HEADER_BYTES
+            diffs[unit] = Diff(
+                unit=unit,
+                idx=cc32[s:e],
+                values=vals[s:e],
+                wire_bytes=wire,
+                nwords=n,
+            )
+        return diffs
+
+    def _interval_diffs_ref(self) -> Dict[int, Diff]:
+        """Reference diff creation: one :func:`create_diff` per twinned
+        unit in ascending order (the pre-vectorization implementation)."""
+        diffs: Dict[int, Diff] = {}
+        for unit in sorted(self.twins):
+            diffs[unit] = create_diff(
+                unit, self.twins[unit], self.space.unit_view(unit)
+            )
+        return diffs
 
     def at_sync_point(self) -> None:
         """Hook run on the processor's own thread immediately before it
@@ -604,28 +752,53 @@ class LrcProc:
 
         Returns ``(cost_us, payload_bytes, n_notices)`` so the caller can
         charge the wake-up time and size the carrying message.
+
+        The per-unit side effects are batched per *interval* (the units
+        of one interval are distinct, so testing ``pending_n == 0``
+        against the state before the interval's own appends is exactly
+        the per-notice emptiness check, and clearing persistence /
+        access-validity flags is idempotent); the
+        :class:`~repro.dsm.intervals.WriteNotice` objects themselves are
+        still appended one by one because a later fetch consumes them as
+        ordered lists.  ``tests/properties`` diffs this against the
+        retained :meth:`IntervalStore.notices_between` oracle.
         """
         newly_invalid = 0
         n = 0
-        for interval, unit in self.store.notices_between(self.vc, new_vc):
-            if interval.proc == self.pid:
-                raise AssertionError("received a notice for own interval")
-            lst = self.pending.get(unit)
-            if lst is None:
-                lst = self.pending[unit] = []
-            if not lst:
-                newly_invalid += 1
-            lst.append(
-                WriteNotice(
-                    proc=interval.proc,
-                    index=interval.index,
-                    unit=unit,
-                    commit_seq=interval.commit_seq,
+        pending = self.pending
+        pending_n = self.pending_n
+        persist = self._twin_persist
+        invalidate_many = self.aggregator.on_invalidate_many
+        store = self.store
+        own_vc = self.vc
+        for proc in range(self.config.nprocs):
+            for interval in store.intervals_between(
+                proc, own_vc[proc], new_vc[proc]
+            ):
+                if interval.proc == self.pid:
+                    raise AssertionError("received a notice for own interval")
+                ua = interval.units_arr
+                if not ua.shape[0]:
+                    continue
+                n += ua.shape[0]
+                newly_invalid += int((pending_n[ua] == 0).sum())
+                pending_n[ua] += 1
+                persist[ua] = False
+                invalidate_many(ua)
+                iproc, iidx, iseq = (
+                    interval.proc,
+                    interval.index,
+                    interval.commit_seq,
                 )
-            )
-            n += 1
-            self._twin_persist.discard(unit)
-            self.aggregator.on_invalidate(unit)
+                for unit in interval.units_list:
+                    lst = pending.get(unit)
+                    if lst is None:
+                        lst = pending[unit] = []
+                    lst.append(
+                        WriteNotice(
+                            proc=iproc, index=iidx, unit=unit, commit_seq=iseq
+                        )
+                    )
         self.vc.join(new_vc)
         cost = newly_invalid * self.config.mprotect_us
         self.stats.mprotects += newly_invalid
@@ -788,8 +961,10 @@ class LrcProc:
                 )
 
         pending_pop = self.pending.pop
+        pending_n = self.pending_n
         for unit in units:
             pending_pop(unit, None)
+            pending_n[unit] = 0
 
         stats.mprotects += len(units)
         cost = (

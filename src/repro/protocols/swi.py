@@ -81,6 +81,16 @@ class OwnershipDirectory:
         """Processors holding a valid copy (everyone starts valid: the
         heap is zero-initialized identically on every node)."""
 
+        self.excl: "np.ndarray[Any, np.dtype[Any]]" = np.full(
+            nunits, -1, dtype=np.int32
+        )
+        """Per-unit exclusivity cache: the pid for which
+        ``owner[u] == pid and copyset[u] == {pid}`` holds, else -1.
+        Both mutation sites keep it current (ownership acquisition sets
+        it, a fetch joining the copyset clears it), so the write fast
+        path tests exclusivity with one array read per unit instead of
+        building set comparisons."""
+
 
 class SwiProc(LrcProc):
     """One processor under single-writer invalidate."""
@@ -119,9 +129,9 @@ class SwiProc(LrcProc):
         already exclusively owned here, under which
         :meth:`_ensure_exclusive` is a guaranteed no-op; otherwise the
         reference loop performs the ownership acquisitions per range."""
-        d = self.directory
+        excl = self.directory.excl
         pid = self.pid
-        return all(d.owner[u] == pid and d.copyset[u] == {pid} for u in units)
+        return all(excl[u] == pid for u in units)
 
     def _bulk_write_prep_needed(self, units: List[int]) -> bool:
         return False
@@ -135,7 +145,7 @@ class SwiProc(LrcProc):
         MSI "M state"): take ownership from the previous owner if any,
         invalidate every other copy."""
         d = self.directory
-        if d.owner[unit] == self.pid and d.copyset[unit] == {self.pid}:
+        if d.excl[unit] == self.pid:
             return
         now = self.clock.now
         # Write-protection trap: the unit was not writable here.
@@ -174,8 +184,9 @@ class SwiProc(LrcProc):
                 INVALIDATE_ACK_BYTES, now, waiter=self.pid,
             )
             peer = self.peers[peer_pid]
-            if not peer.pending.get(unit):
+            if not peer.pending_n[unit]:
                 peer.pending[unit] = [_sentinel(unit)]
+                peer.pending_n[unit] = 1
                 assert peer.aggregator is not None
                 peer.aggregator.on_invalidate(unit)
                 self.stats.mprotects += 1  # the holder protects its copy
@@ -189,6 +200,7 @@ class SwiProc(LrcProc):
 
         d.owner[unit] = self.pid
         d.copyset[unit] = {self.pid}
+        d.excl[unit] = self.pid
         if self.trace is not None:
             self.trace.on_ownership(self.pid, now, unit, prev, len(sharers))
         self.clock.advance(cost)
@@ -250,6 +262,7 @@ class SwiProc(LrcProc):
                 self.tracker.mark(np.arange(w0, w1, dtype=np.int64), reply.msg_id)
                 apply_cost += self.layout.unit_bytes * self.config.twin_byte_us
                 self.directory.copyset[unit].add(self.pid)
+                self.directory.excl[unit] = -1
                 self.stats.diffs_applied += 1
                 self.stats.diff_words_applied += self.layout.words_per_unit
                 if self.trace is not None:
@@ -264,6 +277,7 @@ class SwiProc(LrcProc):
 
         for unit in units:
             self.pending.pop(unit, None)
+            self.pending_n[unit] = 0
         self.stats.mprotects += len(units)
         cost = (
             self.config.fault_trap_us

@@ -1,0 +1,321 @@
+"""Differential property suite for the vectorized kernels (PR 9).
+
+Every vectorized hot path keeps its scalar predecessor in-tree as the
+oracle; this suite drives randomized inputs through both and asserts
+*bit-identity* (``np.array_equal``, never ``allclose``):
+
+* ``barnes.build_tree``            vs ``barnes.build_tree_ref``
+* ``barnes.batched_forces_soa``    vs ``barnes.batched_forces`` (AoS)
+* ``LrcProc._interval_diffs``      vs ``LrcProc._interval_diffs_ref``
+  (in situ, on real twin/pool state, covering the small / dense /
+  sparse-flat kernel branches), plus the RLE wire-size and round-trip
+  invariants of each produced diff
+* the batched write-notice application's ``pending_n`` counter array
+  vs the per-unit ``pending`` lists it summarizes
+* a random gather/scatter program under ``access_mode='bulk'`` vs the
+  word-decomposed ``'scalar'`` mode (the differential gate extended to
+  row kernels).
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.barnes import (
+    _soa_noop,
+    batched_forces,
+    batched_forces_soa,
+    build_tree,
+    build_tree_ref,
+)
+from repro.core import SimConfig, TreadMarks
+from repro.dsm.diff import _wire_bytes, apply_diff
+from repro.dsm.lrc import LrcProc
+
+# ----------------------------------------------------------------------
+# Barnes tree construction and force kernels
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def clouds(draw):
+    """Random body clouds: uniform, clustered, and degenerate (exact
+    duplicate positions, capped at BUCKET per point so the octree
+    terminates, as any physical input does)."""
+    n = draw(st.integers(1, 400))
+    seed = draw(st.integers(0, 2**31 - 1))
+    mode = draw(st.sampled_from(["uniform", "clustered", "degenerate"]))
+    rng = np.random.default_rng(seed)
+    if mode == "uniform":
+        pos = rng.uniform(-100.0, 100.0, (n, 3)).astype(np.float32)
+    elif mode == "clustered":
+        centers = rng.uniform(-50.0, 50.0, (max(1, n // 16), 3))
+        pick = rng.integers(0, centers.shape[0], n)
+        pos = (centers[pick] + rng.normal(0.0, 0.5, (n, 3))).astype(
+            np.float32
+        )
+    else:
+        npoints = (n + 7) // 8
+        base = rng.uniform(-10.0, 10.0, (npoints, 3)).astype(np.float32)
+        pick = np.repeat(np.arange(npoints), 8)[:n]
+        pos = base[pick]
+    mass = rng.uniform(0.5, 2.0, n).astype(np.float32)
+    return pos, mass
+
+
+@given(clouds())
+@settings(max_examples=40, deadline=None)
+def test_build_tree_matches_reference(cloud):
+    pos, mass = cloud
+    vec = build_tree(pos.copy(), mass.copy())
+    ref = build_tree_ref(pos.copy(), mass.copy())
+    assert vec.shape == ref.shape
+    assert np.array_equal(vec, ref)
+
+
+@given(clouds(), st.integers(1, 7))
+@settings(max_examples=25, deadline=None)
+def test_batched_forces_soa_matches_aos(cloud, stride):
+    """The SoA kernel must reproduce the AoS kernel bit-for-bit on a
+    worker-shaped batch (a strided subset of the bodies)."""
+    pos, mass = cloud
+    n = pos.shape[0]
+    tree = build_tree(pos.copy(), mass.copy())
+    bodies = np.zeros((n, 16), dtype=np.float32)
+    bodies[:, 0:3] = pos
+    bodies[:, 9] = mass
+    rows = np.arange(0, n, stride, dtype=np.int64)
+    pos_i = np.ascontiguousarray(pos[rows])
+
+    acc_aos, inter_aos = batched_forces(
+        pos_i, rows, lambda cids: tree[cids], lambda js: bodies[js]
+    )
+    acc_soa, inter_soa = batched_forces_soa(
+        pos_i,
+        rows,
+        (
+            np.ascontiguousarray(tree[:, 0]),
+            np.ascontiguousarray(tree[:, 1]),
+            np.ascontiguousarray(tree[:, 2]),
+            np.ascontiguousarray(tree[:, 3]),
+            tree[:, 4] * tree[:, 4],
+            tree[:, 8:16].astype(np.int32),
+        ),
+        (
+            np.ascontiguousarray(bodies[:, 0]),
+            np.ascontiguousarray(bodies[:, 1]),
+            np.ascontiguousarray(bodies[:, 2]),
+            np.ascontiguousarray(bodies[:, 9]),
+        ),
+        _soa_noop,
+        _soa_noop,
+    )
+    assert np.array_equal(acc_soa, acc_aos)
+    assert np.array_equal(inter_soa, inter_aos)
+
+
+# ----------------------------------------------------------------------
+# Interval diff kernel, in situ on real protocol state
+# ----------------------------------------------------------------------
+
+WPU = 1024  # words per 4 KB page
+NPAGES = 210  # every proc owns > 64 pages: intervals can exceed the
+# small-path cutoff of the batched diff kernel
+
+
+@st.composite
+def write_programs(draw):
+    """Barrier-phased programs where each processor writes only pages it
+    owns (page p belongs to proc p % nprocs -- no races), with rounds
+    drawn to exercise all three ``_interval_diffs`` branches: few pages
+    (reference path), many nearly-full pages (dense batched path), and
+    many single-word touches (sparse flat-kernel path)."""
+    nprocs = draw(st.integers(2, 3))
+    nrounds = draw(st.integers(1, 3))
+    rounds = []
+    for _ in range(nrounds):
+        per_proc = {}
+        for p in range(nprocs):
+            mode = draw(st.sampled_from(["few", "dense", "sparse"]))
+            own = list(range(p, NPAGES, nprocs))
+            if mode == "few":
+                k = draw(st.integers(1, 4))
+            else:
+                k = draw(st.integers(65, min(100, len(own))))
+                assert k <= len(own)
+            pages = own[:k]
+            ops = []
+            for page in pages:
+                if mode == "dense":
+                    start, length = 0, draw(st.integers(WPU // 2, WPU))
+                else:
+                    start = draw(st.integers(0, WPU - 4))
+                    length = draw(st.integers(1, 4))
+                value = draw(st.integers(1, 2**31))
+                ops.append((page * WPU + start, length, value))
+            per_proc[p] = ops
+        rounds.append(per_proc)
+    return nprocs, rounds
+
+
+def _run_program(nprocs, rounds, **cfg_kwargs):
+    tmk = TreadMarks(
+        SimConfig(nprocs=nprocs, **cfg_kwargs),
+        heap_bytes=NPAGES * WPU * 4,
+    )
+    arr = tmk.array("a", (NPAGES * WPU,), "uint32")
+
+    def body(proc):
+        for r, per_proc in enumerate(rounds):
+            for start, length, value in per_proc[proc.id]:
+                arr.write(proc, start, np.full(length, value, np.uint32))
+            proc.barrier(r)
+        got = arr.read(proc, 0, NPAGES * WPU)
+        proc.barrier(999)
+        return float(got.astype(np.float64).sum())
+
+    return tmk.run(body), arr
+
+
+@given(write_programs())
+@settings(max_examples=8, deadline=None)
+def test_interval_diffs_match_reference_in_situ(program):
+    """Patch ``_interval_diffs`` to diff itself against the reference on
+    every real interval close, including the RLE invariants: the wire
+    size matches ``diff._wire_bytes`` and applying the diff to the twin
+    reconstructs current memory."""
+    nprocs, rounds = program
+    orig = LrcProc._interval_diffs
+    closes = []
+
+    def checked(self):
+        vec = orig(self)
+        ref = self._interval_diffs_ref()
+        assert sorted(vec) == sorted(ref)
+        for unit, d in vec.items():
+            r = ref[unit]
+            assert np.array_equal(d.idx, r.idx)
+            assert d.idx.dtype == r.idx.dtype
+            assert np.array_equal(d.values, r.values)
+            assert d.nwords == r.nwords == d.idx.shape[0]
+            assert d.wire_bytes == r.wire_bytes == _wire_bytes(d.idx)
+            twin = self.twins[unit].copy()
+            apply_diff(d, twin)
+            assert np.array_equal(twin, self.space.unit_view(unit))
+        closes.append(len(vec))
+        return vec
+
+    LrcProc._interval_diffs = checked
+    try:
+        _run_program(nprocs, rounds)
+    finally:
+        LrcProc._interval_diffs = orig
+    assert closes  # the patch actually ran
+
+
+@given(write_programs())
+@settings(max_examples=8, deadline=None)
+def test_pending_n_matches_pending_lists(program):
+    """After every batched notice application the ``pending_n`` counter
+    array must equal the lengths of the per-unit notice lists it
+    summarizes (the fetch path trusts the array to find cold units)."""
+    nprocs, rounds = program
+    orig = LrcProc.apply_notices_upto
+    calls = []
+
+    def checked(self, new_vc):
+        out = orig(self, new_vc)
+        for unit, lst in self.pending.items():
+            assert self.pending_n[unit] == len(lst), unit
+        calls.append(1)
+        return out
+
+    LrcProc.apply_notices_upto = checked
+    try:
+        _run_program(nprocs, rounds)
+    finally:
+        LrcProc.apply_notices_upto = orig
+    assert calls
+
+
+# ----------------------------------------------------------------------
+# Random gather/scatter programs: bulk vs scalar decomposition
+# ----------------------------------------------------------------------
+
+ROWS, COLS = 96, 64  # 24 KB array: several pages, rows share pages
+
+
+@st.composite
+def row_programs(draw):
+    nprocs = draw(st.integers(2, 3))
+    nrounds = draw(st.integers(1, 2))
+    rounds = []
+    for _ in range(nrounds):
+        per_proc = {}
+        for p in range(nprocs):
+            own = list(range(p, ROWS, nprocs))
+            k = draw(st.integers(0, min(8, len(own))))
+            wrows = sorted(
+                draw(
+                    st.lists(
+                        st.sampled_from(own),
+                        min_size=k,
+                        max_size=k,
+                        unique=True,
+                    )
+                )
+            )
+            value = draw(st.integers(1, 2**20))
+            r0 = draw(st.integers(0, ROWS - 4))
+            per_proc[p] = (wrows, value, (r0, r0 + 4))
+        rounds.append(per_proc)
+    return nprocs, rounds
+
+
+def _run_rows(nprocs, rounds, access_mode):
+    tmk = TreadMarks(
+        SimConfig(nprocs=nprocs, access_mode=access_mode),
+        heap_bytes=ROWS * COLS * 4 + 65536,
+    )
+    arr = tmk.array("m", (ROWS, COLS), "uint32")
+    final = {}
+
+    def body(proc):
+        for r, per_proc in enumerate(rounds):
+            wrows, value, (g0, g1) = per_proc[proc.id]
+            if wrows:
+                ridx = np.asarray(wrows, dtype=np.int64)
+                block = np.full((len(wrows), COLS), value, np.uint32)
+                block += ridx[:, None].astype(np.uint32)
+                arr.scatter_rows(proc, ridx, block)
+            proc.barrier(r)
+            arr.read_rows(proc, g0, g1)
+            garow = np.arange(g0, g1, dtype=np.int64)
+            arr.gather_rows(proc, garow, 0, min(8, COLS))
+        got = arr.read_rows(proc, 0, ROWS)
+        if proc.id == 0:
+            final["mem"] = got.copy()
+        proc.barrier(999)
+        return float(got.astype(np.float64).sum())
+
+    res = tmk.run(body)
+    return res, final["mem"]
+
+
+@given(row_programs())
+@settings(max_examples=8, deadline=None)
+def test_random_gather_scatter_bulk_matches_scalar(program):
+    """The row-kernel differential gate on random programs: a bulk-mode
+    run must match the scalar word-decomposed run in final memory,
+    checksum, simulated time, and every protocol counter."""
+    nprocs, rounds = program
+    bulk, mem_bulk = _run_rows(nprocs, rounds, "bulk")
+    scalar, mem_scalar = _run_rows(nprocs, rounds, "scalar")
+    assert np.array_equal(mem_bulk, mem_scalar)
+    assert bulk.checksum == scalar.checksum
+    assert bulk.time_us == scalar.time_us
+    assert dataclasses.asdict(bulk.stats) == dataclasses.asdict(
+        scalar.stats
+    )

@@ -1,0 +1,35 @@
+"""Smoke tests for ``python -m repro.bench profile``.
+
+The profiler must be purely observational: attaching cProfile to every
+engine thread and reading the trace may not perturb a single simulated
+counter.  That is the property that keeps the command deterministic-safe
+(detlint allows its wall-clock reads because nothing simulation-ordered
+consumes them).
+"""
+
+import dataclasses
+import json
+
+from repro.bench import profile
+from repro.bench.harness import run_case
+
+CASE = "Jacobi,1Kx1K,4K"  # cheapest full run with several epochs
+
+
+def test_run_and_write_outputs(tmp_path):
+    text = profile.run_and_write(CASE, tmp_path)
+    txt = tmp_path / "jacobi-1Kx1K-4K.profile.txt"
+    js = tmp_path / "jacobi-1Kx1K-4K.profile.json"
+    assert txt.is_file() and js.is_file()
+    assert "top " in text and "phase" in text.lower()
+    data = json.loads(js.read_text())
+    assert data["app"] == "Jacobi"
+    assert data["top"], "top-N function table is empty"
+    assert data["phases"], "per-phase table is empty"
+
+
+def test_profiling_is_observational():
+    """The profiled run's counters equal an unprofiled run's exactly."""
+    report = profile.run_profile(CASE)
+    baseline = run_case("Jacobi", "1Kx1K", "4K")
+    assert dataclasses.asdict(report.case) == dataclasses.asdict(baseline)
