@@ -38,11 +38,16 @@ cannot run anything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.shared import SharedArray, alloc_array
+from repro.core.shared import (
+    LayoutPlan,
+    SharedArray,
+    alloc_array,
+    plan_slack_bytes,
+)
 from repro.dsm.address_space import Allocation, SharedHeapLayout
 from repro.sim.config import SimConfig
 
@@ -121,15 +126,19 @@ class Phase:
                 f"access of {nelems} elements at flat {flat} exceeds "
                 f"{arr.alloc.name!r} size {arr.size}"
             )
-        self.accesses.append(
-            Access(
-                proc=proc,
-                op=op,
-                word0=arr.word_offset(flat),
-                nwords=nelems * arr.words_per_elem,
-                must=must,
+        # One Access per contiguous heap run: a plain array is a single
+        # run; a padded array splits at segment boundaries, exactly like
+        # the runtime decomposes the same element range.
+        for word0, nwords in arr.word_runs(flat, nelems):
+            self.accesses.append(
+                Access(
+                    proc=proc,
+                    op=op,
+                    word0=word0,
+                    nwords=nwords,
+                    must=must,
+                )
             )
-        )
 
     def read(self, arr: SharedArray, proc: int, start: IndexLike,
              nelems: int, must: bool = True) -> None:
@@ -188,10 +197,15 @@ class LayoutProbe:
     processors, a network, or a scheduler.
     """
 
-    def __init__(self, config: SimConfig, heap_bytes: int) -> None:
+    def __init__(
+        self, config: SimConfig, heap_bytes: int,
+        layout_plan: Optional[LayoutPlan] = None,
+    ) -> None:
         self.config = config
+        self.layout_plan = layout_plan
         self.layout = SharedHeapLayout(
-            heap_bytes, config.page_size, config.unit_bytes
+            heap_bytes + plan_slack_bytes(layout_plan),
+            config.page_size, config.unit_bytes,
         )
 
     def malloc(self, name: str, nbytes: int,
@@ -200,7 +214,10 @@ class LayoutProbe:
 
     def array(self, name: str, shape: IndexLike, dtype: str = "float32",
               page_align: bool = True) -> SharedArray:
-        return alloc_array(self.layout, name, shape, dtype, page_align)
+        return alloc_array(
+            self.layout, name, shape, dtype, page_align,
+            plan=self.layout_plan,
+        )
 
 
 @dataclass
@@ -213,21 +230,24 @@ class BuiltPattern:
 
 
 def build_pattern(
-    app: "Application", dataset: str, nprocs: int = 8
+    app: "Application", dataset: str, nprocs: int = 8,
+    layout_plan: Optional[LayoutPlan] = None,
 ) -> BuiltPattern:
     """Run ``app.setup()`` against a layout probe and collect the app's
     declared access pattern for ``nprocs`` processors.
 
     ``app`` is an :class:`repro.apps.base.Application` instance whose
     class overrides :meth:`~repro.apps.base.Application.access_pattern`.
-    """
+    ``layout_plan`` resolves the declaration against a padded layout
+    (the advisor's what-if mode): same element ranges, remapped heap
+    addresses."""
     cls = type(app)
     if not getattr(cls, "declares_access_pattern", lambda: False)():
         raise NotImplementedError(
             f"{app.name} does not declare an access pattern"
         )
     config = SimConfig(nprocs=nprocs)
-    probe = LayoutProbe(config, app.heap_bytes(dataset))
+    probe = LayoutProbe(config, app.heap_bytes(dataset), layout_plan)
     handles = app.setup(probe, dataset)
     pattern = app.access_pattern(handles, app.params(dataset), nprocs)
     pattern.dataset = dataset

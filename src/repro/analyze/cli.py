@@ -1,52 +1,93 @@
 """Command-line driver for the static-analysis subsystem.
 
-Three modes, one per pillar:
+Five modes -- three legacy flags and two subcommands -- covering the
+analyzer's pillars:
 
 ``--lint``
     Determinism lint over the simulator sources (default roots:
-    ``src/repro``).  Exit 0 iff no active findings and no stale
+    ``src/repro``) plus the test/benchmark helper trees (reported in a
+    separate section).  Exit 0 iff no active findings and no stale
     suppressions.  ``--json PATH`` additionally writes the machine
     report consumed by CI artifacts.
 
 ``--predict APP``
     Static access-pattern analysis for one application: predicted
     write-write conflict pages at 4 KB plus the useless-data lower
-    bound at each paper unit size.
+    bound at each paper unit size.  ``--json PATH`` writes the
+    round-trippable machine report.
 
 ``--crosscheck``
     The static-vs-dynamic gate over every application's smallest
     dataset (or ``--apps A,B``): traced 4 KB runs must observe every
     predicted page, and dynamic-only pages must stay within the
     committed ratchet (``--update-ratchet`` re-records it).
+
+``modelcheck``
+    Small-scope exhaustive model checking: every litmus program x
+    consistency protocol, state/terminal/outcome counts pinned against
+    ``benchmarks/modelcheck/state_counts.json``, plus the seeded-bug
+    mutation gate.  See ``python -m repro analyze modelcheck --help``.
+
+``layout``
+    Static false-sharing layout advisor: per-allocation padding
+    proposals with predicted conflict deltas, optionally crosschecked
+    against real padded runs (``--crosscheck``) and the committed
+    ``benchmarks/analyze/layout_crosscheck.json`` baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional
 
 from repro.analyze.crosscheck import run_crosscheck
-from repro.analyze.detlint import lint_paths, repo_roots
+from repro.analyze.detlint import (
+    HELPER_EXCLUDE_PARTS,
+    helper_roots,
+    lint_paths,
+    repo_roots,
+)
 from repro.analyze.predict import predict
+from repro.analyze.report import merge_sections
 from repro.bench.golden import SMALL_DATASETS
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    paths = [pathlib.Path(p) for p in args.paths] or repo_roots()
-    report = lint_paths(paths)
-    print(report.render())
+    if args.paths:
+        sections = {"src": lint_paths([pathlib.Path(p) for p in args.paths])}
+    else:
+        sections = {
+            "src": lint_paths(repo_roots()),
+            "helpers": lint_paths(
+                helper_roots(), exclude_parts=HELPER_EXCLUDE_PARTS
+            ),
+        }
+    ok = True
+    for name, report in sections.items():
+        print(f"== {name} ==")
+        print(report.render())
+        ok = ok and report.ok
     if args.json:
-        report.write_json(pathlib.Path(args.json))
+        path = pathlib.Path(args.json)
+        with open(path, "w") as fh:
+            json.dump(merge_sections(sections), fh, indent=2, sort_keys=True)
+            fh.write("\n")
         print(f"json report: {args.json}")
-    return 0 if report.ok else 1
+    return 0 if ok else 1
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     dataset = args.dataset or SMALL_DATASETS[args.predict]
     prediction = predict(args.predict, dataset, nprocs=args.nprocs)
     print(prediction.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(prediction.to_json_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"json report: {args.json}")
     return 0
 
 
@@ -57,10 +98,102 @@ def _cmd_crosscheck(args: argparse.Namespace) -> int:
     )
 
 
+def _modelcheck_main(argv: List[str]) -> int:
+    from repro.analyze.modelcheck import (
+        CHECKED_PROTOCOLS,
+        LITMUS_TESTS,
+        run_modelcheck,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analyze modelcheck",
+        description="exhaustive small-scope model checking of the "
+        "consistency protocols against the release-consistency oracle",
+    )
+    parser.add_argument(
+        "--litmus", default=None,
+        help=f"comma-separated litmus subset (default: all of "
+        f"{','.join(sorted(LITMUS_TESTS))})",
+    )
+    parser.add_argument(
+        "--protocols", default=None,
+        help=f"comma-separated protocol subset (default: "
+        f"{','.join(CHECKED_PROTOCOLS)})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the committed state-count baseline",
+    )
+    parser.add_argument(
+        "--no-mutation-gate", action="store_true",
+        help="skip the seeded-bug mutation gate",
+    )
+    parser.add_argument(
+        "--witness", metavar="PATH", default=None,
+        help="where to write a violation witness "
+        "(default modelcheck_witness.json)",
+    )
+    args = parser.parse_args(argv)
+    return run_modelcheck(
+        litmus_names=args.litmus.split(",") if args.litmus else None,
+        protocols=args.protocols.split(",") if args.protocols else None,
+        update_baseline=args.update_baseline,
+        with_mutation_gate=not args.no_mutation_gate,
+        witness_path=args.witness,
+    )
+
+
+def _layout_main(argv: List[str]) -> int:
+    from repro.analyze.layout import run_layout
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analyze layout",
+        description="static false-sharing layout advisor: padding "
+        "proposals with predicted conflict deltas",
+    )
+    parser.add_argument(
+        "--apps", default=None,
+        help="comma-separated subset of app names (default: all declared)",
+    )
+    parser.add_argument(
+        "--nprocs", type=int, default=8,
+        help="processor count (default 8)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the advisor reports as JSON here",
+    )
+    parser.add_argument(
+        "--crosscheck", action="store_true",
+        help="apply the pinned cells' plans to real runs and gate "
+        "against the committed baseline",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="with --crosscheck: rewrite the committed baseline",
+    )
+    args = parser.parse_args(argv)
+    return run_layout(
+        apps=args.apps.split(",") if args.apps else None,
+        nprocs=args.nprocs,
+        json_path=args.json,
+        crosscheck=args.crosscheck,
+        update_baseline=args.update,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "modelcheck":
+        return _modelcheck_main(argv[1:])
+    if argv and argv[0] == "layout":
+        return _layout_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro.analyze",
-        description="determinism lint and static access-pattern analysis",
+        description="determinism lint, static access-pattern analysis, "
+        "layout advisor, and protocol model checker (see the "
+        "'layout' and 'modelcheck' subcommands)",
     )
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument(
@@ -77,11 +210,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--paths", nargs="*", default=[],
-        help="lint these files/dirs instead of the default src/repro",
+        help="lint these files/dirs instead of the default "
+        "src/repro + tests + benchmarks",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --lint: also write the JSON report here",
+        help="with --lint/--predict: also write the JSON report here",
     )
     parser.add_argument(
         "--dataset", default=None,

@@ -140,12 +140,21 @@ def iter_python_files(root: PathLike) -> List[pathlib.Path]:
     return sorted(f for f in p.rglob("*.py") if "__pycache__" not in f.parts)
 
 
-def lint_paths(paths: Iterable[PathLike]) -> LintReport:
-    """Lint every Python file under the given files/directories."""
+def lint_paths(
+    paths: Iterable[PathLike], exclude_parts: Iterable[str] = ()
+) -> LintReport:
+    """Lint every Python file under the given files/directories.
+
+    ``exclude_parts`` skips files with a matching path component (used
+    to keep deliberate hazard corpora -- the rule-engine's test fixtures
+    -- out of the helper gate)."""
+    skip = frozenset(exclude_parts)
     files: List[pathlib.Path] = []
     seen: Set[pathlib.Path] = set()
     for path in paths:
         for f in iter_python_files(path):
+            if skip and skip.intersection(f.parts):
+                continue
             if f not in seen:
                 seen.add(f)
                 files.append(f)
@@ -157,6 +166,16 @@ def lint_paths(paths: Iterable[PathLike]) -> LintReport:
 DEFAULT_ROOTS: Tuple[str, ...] = ("src/repro",)
 
 
+#: Helper trees linted with the same rules but reported separately:
+#: test and benchmark code feeds baselines and goldens, so hidden
+#: iteration-order dependence there corrupts the gates it serves.
+HELPER_ROOTS: Tuple[str, ...] = ("tests", "benchmarks")
+
+#: Path components excluded from the helper lint: the rule tests'
+#: fixture files are *deliberate* hazard corpora.
+HELPER_EXCLUDE_PARTS: Tuple[str, ...] = ("fixtures",)
+
+
 def repo_roots(base: Optional[PathLike] = None) -> List[pathlib.Path]:
     """The default lint roots resolved against ``base`` (default: the
     repository root containing this package, so the CLI works from any
@@ -164,3 +183,17 @@ def repo_roots(base: Optional[PathLike] = None) -> List[pathlib.Path]:
     if base is None:
         base = pathlib.Path(__file__).resolve().parents[3]
     return [pathlib.Path(base) / root for root in DEFAULT_ROOTS]
+
+
+def helper_roots(base: Optional[PathLike] = None) -> List[pathlib.Path]:
+    """The test/benchmark helper lint roots (see :data:`HELPER_ROOTS`),
+    resolved like :func:`repo_roots`; missing directories are skipped
+    (the benchmarks tree holds committed JSON baselines, not always
+    Python)."""
+    if base is None:
+        base = pathlib.Path(__file__).resolve().parents[3]
+    return [
+        pathlib.Path(base) / root
+        for root in HELPER_ROOTS
+        if (pathlib.Path(base) / root).exists()
+    ]

@@ -175,6 +175,36 @@ class Prediction:
             },
         }
 
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "Prediction":
+        """Inverse of :meth:`to_json_dict` (``labeled_pages`` carries the
+        page -> allocation labels, so the round trip is lossless)."""
+        labeled = [str(s) for s in doc.get("labeled_pages", [])]  # type: ignore[union-attr]
+        labels: Dict[int, str] = {}
+        for entry in labeled:
+            name, _, page = entry.rpartition(":")
+            labels[int(page)] = name
+        units_doc: Dict[str, Dict[str, object]] = doc["units"]  # type: ignore[assignment]
+        units = {
+            int(ub): UnitReport(
+                unit_bytes=int(ub),
+                conflict_units=tuple(int(u) for u in r["conflict_units"]),  # type: ignore[union-attr]
+                useless_words_lower=int(r["useless_words_lower"]),  # type: ignore[arg-type]
+            )
+            for ub, r in units_doc.items()
+        }
+        return cls(
+            app=str(doc["app"]),
+            dataset=str(doc["dataset"]),
+            nprocs=int(doc["nprocs"]),  # type: ignore[arg-type]
+            page_size=int(doc["page_size"]),  # type: ignore[arg-type]
+            n_phases=int(doc["n_phases"]),  # type: ignore[arg-type]
+            n_accesses=int(doc["n_accesses"]),  # type: ignore[arg-type]
+            conflict_pages=tuple(int(p) for p in doc["conflict_pages"]),  # type: ignore[union-attr]
+            page_labels=labels,
+            units=units,
+        )
+
 
 # ----------------------------------------------------------------------
 # The analysis
@@ -195,8 +225,15 @@ def _conflict_pages(built: BuiltPattern, words_per_page: int) -> List[int]:
     return sorted(conflicts)
 
 
-def _useless_lower_bound(built: BuiltPattern, words_per_unit: int) -> int:
-    """The documented lower bound on useless words for one unit size."""
+def useless_by_unit(
+    built: BuiltPattern, words_per_unit: int
+) -> Dict[int, int]:
+    """The documented useless-word lower bound, attributed per unit.
+
+    Same bookkeeping as the total bound (the total *is* the sum of
+    these), binned by the unit whose diff would carry the words.  The
+    layout advisor (:mod:`repro.analyze.layout`) uses the per-unit view
+    to attribute waste to allocations and to count affected units."""
     nprocs = built.pattern.nprocs
 
     # last phase index of any must access, per (proc, unit)
@@ -224,7 +261,7 @@ def _useless_lower_bound(built: BuiltPattern, words_per_unit: int) -> int:
                 if acc.op == "read":
                     unit_reads.setdefault((acc.proc, unit), []).append(iv)
 
-    useless = 0
+    useless: Dict[int, int] = {}
     for (proc, unit), last_idx in sorted(last_access.items()):
         others: List[Interval] = []
         for idx in range(last_idx):
@@ -238,8 +275,15 @@ def _useless_lower_bound(built: BuiltPattern, words_per_unit: int) -> int:
             continue
         fetched = merge(others)
         reads = merge(unit_reads.get((proc, unit), []))
-        useless += total(subtract(fetched, reads))
+        words = total(subtract(fetched, reads))
+        if words:
+            useless[unit] = useless.get(unit, 0) + words
     return useless
+
+
+def _useless_lower_bound(built: BuiltPattern, words_per_unit: int) -> int:
+    """The documented lower bound on useless words for one unit size."""
+    return sum(useless_by_unit(built, words_per_unit).values())
 
 
 def predict_pattern(built: BuiltPattern,

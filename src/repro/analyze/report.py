@@ -97,6 +97,52 @@ class LintReport:
             json.dump(self.to_json_dict(), fh, indent=1, sort_keys=True)
             fh.write("\n")
 
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "LintReport":
+        """Inverse of :meth:`to_json_dict` (the derived ``ok`` field is
+        recomputed, everything else round-trips field-for-field)."""
+        def as_finding(d: Dict[str, object]) -> Finding:
+            return Finding(
+                path=str(d["path"]),
+                line=int(d["line"]),  # type: ignore[arg-type]
+                col=int(d["col"]),  # type: ignore[arg-type]
+                rule=str(d["rule"]),
+                message=str(d["message"]),
+                suppressed=bool(d["suppressed"]),
+            )
+
+        return cls(
+            findings=[as_finding(d) for d in doc["findings"]],  # type: ignore[union-attr]
+            files_checked=int(doc["files_checked"]),  # type: ignore[arg-type]
+            unused_suppressions=[
+                as_finding(d)
+                for d in doc["unused_suppressions"]  # type: ignore[union-attr]
+            ],
+        )
+
+
+def merge_sections(sections: Dict[str, LintReport]) -> Dict[str, object]:
+    """The sectioned JSON document written by ``--lint --json``: one
+    :class:`LintReport` dict per section (``src`` for the simulator
+    package, ``helpers`` for the test/benchmark trees) plus the overall
+    gate verdict."""
+    return {
+        "ok": all(r.ok for r in sections.values()),
+        "sections": {
+            name: sections[name].to_json_dict() for name in sorted(sections)
+        },
+    }
+
+
+def sections_from_json_dict(
+    doc: Dict[str, object],
+) -> Dict[str, LintReport]:
+    """Inverse of :func:`merge_sections`."""
+    sections_doc: Dict[str, Dict[str, object]] = doc["sections"]  # type: ignore[assignment]
+    return {
+        name: LintReport.from_json_dict(d) for name, d in sections_doc.items()
+    }
+
 
 def merge_reports(reports: Sequence[LintReport]) -> LintReport:
     """Fold per-file reports into one, preserving file order."""

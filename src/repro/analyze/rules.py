@@ -46,6 +46,15 @@ Rule ids (kebab-case, used in suppression comments):
     right-hand side contains a float literal, a true division, or a
     ``float(...)`` call.
 
+``unordered-draw``
+    Single-element draws whose choice depends on container internals:
+    ``dict.popitem()`` (insertion history), ``pop()`` on a statically
+    known set (hash-table order), and ``next(iter(x))`` where ``x`` is
+    statically a set or a dict key view.  Prefer ``min(...)`` or an
+    explicit sort; in simulation-ordered code an arbitrary-but-stable
+    draw today becomes a replay divergence after any refactor that
+    changes insertion order.
+
 ``parse-error``
     The file does not parse; emitted by the engine, never suppressed.
 """
@@ -463,6 +472,72 @@ def check_golden_float(tree: ast.Module) -> Iterator[Hit]:
 
 
 # ----------------------------------------------------------------------
+# unordered-draw
+# ----------------------------------------------------------------------
+def check_unordered_draw(tree: ast.Module) -> Iterator[Hit]:
+    """Single-element draws whose choice depends on container internals:
+    ``d.popitem()`` (insertion history), ``s.pop()`` on a set (hash
+    table order), and ``next(iter(x))`` on a set or dict view."""
+    for scope, body in _iter_scopes(tree):
+        set_names = _collect_set_names(body)
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in _scope_walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                callee = sub.func
+                if isinstance(callee, ast.Attribute):
+                    if (
+                        callee.attr == "popitem"
+                        and not sub.args
+                        and not sub.keywords
+                    ):
+                        yield (
+                            sub.lineno,
+                            sub.col_offset,
+                            "popitem() draws by insertion history; pop a "
+                            "deterministically chosen key instead "
+                            "(e.g. min(d))",
+                        )
+                    elif (
+                        callee.attr == "pop"
+                        and not sub.args
+                        and not sub.keywords
+                        and _is_set_expr(callee.value, set_names)
+                    ):
+                        yield (
+                            sub.lineno,
+                            sub.col_offset,
+                            "set.pop() draws by hash-table order; pop "
+                            "min(s) (or sort first) instead",
+                        )
+                elif (
+                    isinstance(callee, ast.Name)
+                    and callee.id == "next"
+                    and sub.args
+                ):
+                    inner = sub.args[0]
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id == "iter"
+                        and inner.args
+                        and (
+                            _is_set_expr(inner.args[0], set_names)
+                            or _is_keys_call(inner.args[0])
+                        )
+                    ):
+                        yield (
+                            sub.lineno,
+                            sub.col_offset,
+                            "next(iter(...)) over an unordered container "
+                            "draws an arbitrary element; use min(...) or "
+                            "sorted(...)[0]",
+                        )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 RULES: Tuple[Rule, ...] = (
@@ -486,6 +561,11 @@ RULES: Tuple[Rule, ...] = (
         "golden-float",
         "float accumulation into an integral golden counter",
         check_golden_float,
+    ),
+    Rule(
+        "unordered-draw",
+        "arbitrary single-element draw from an unordered container",
+        check_unordered_draw,
     ),
 )
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Type
 
 from repro.core.proc import Proc
+from repro.core.shared import LayoutPlan, plan_slack_bytes
 from repro.core.treadmarks import TreadMarks
 from repro.sim.config import SimConfig
 from repro.stats.report import RunResult
@@ -140,6 +141,7 @@ def get_app(name: str) -> Application:
 def run_app(
     app: Application, dataset: str, config: SimConfig,
     validate_access: bool = False,
+    layout_plan: Optional[LayoutPlan] = None,
 ) -> RunResult:
     """Run one application dataset under one DSM configuration.
 
@@ -147,13 +149,20 @@ def run_app(
     :class:`repro.core.validate.BulkAccessValidator` built from the
     app's :meth:`~Application.access_pattern` declaration (resolved
     against the run's real heap layout), so every bulk gather/scatter
-    outside the declaration raises instead of running."""
+    outside the declaration raises instead of running.
+
+    ``layout_plan`` applies a layout-advisor padding plan (see
+    :mod:`repro.analyze.layout`): named arrays are re-laid-out into
+    aligned segments and the heap is oversized by the plan's slack;
+    data, element addressing, and per-processor access order are
+    unchanged, so checksums must match the unpadded run exactly."""
     params = app.params(dataset)
     tmk = TreadMarks(
         config,
-        heap_bytes=app.heap_bytes(dataset),
+        heap_bytes=app.heap_bytes(dataset) + plan_slack_bytes(layout_plan),
         app_name=app.name,
         dataset=dataset,
+        layout_plan=layout_plan,
     )
     handles = app.setup(tmk, dataset)
     if validate_access:

@@ -13,7 +13,8 @@ uint32, float64, int64, complex64, complex128), matching the paper's
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -38,19 +39,109 @@ def _as_shape(shape: ShapeLike) -> Tuple[int, ...]:
     return tuple(int(s) for s in shape)
 
 
+@dataclass(frozen=True)
+class PadSpec:
+    """A padded re-layout of one shared array (a layout-advisor remedy).
+
+    ``segments`` partitions the flat element range ``[0, size)`` into
+    ascending, non-overlapping ``(elem_start, elem_count)`` pieces that
+    tile it exactly; each segment is placed starting at the next
+    ``align_bytes`` boundary of the heap.  Element addressing, data, and
+    per-processor access order are unchanged -- only the element -> heap
+    word mapping moves, which is exactly the degree of freedom the
+    paper's false-sharing discussion allows an application author.
+    """
+
+    array: str
+    align_bytes: int
+    segments: Tuple[Tuple[int, int], ...]
+
+    def validate(self, size: int) -> None:
+        if self.align_bytes <= 0 or self.align_bytes % WORD:
+            raise ValueError(
+                f"align_bytes must be a positive multiple of {WORD}, "
+                f"got {self.align_bytes}"
+            )
+        cursor = 0
+        for start, count in self.segments:
+            if start != cursor or count <= 0:
+                raise ValueError(
+                    f"segments of {self.array!r} must tile [0, {size}) "
+                    f"in order; got segment ({start}, {count}) at "
+                    f"element {cursor}"
+                )
+            cursor += count
+        if cursor != size:
+            raise ValueError(
+                f"segments of {self.array!r} cover {cursor} elements, "
+                f"array has {size}"
+            )
+
+
+#: A layout plan: array name -> its padded re-layout.
+LayoutPlan = Dict[str, PadSpec]
+
+
+def plan_slack_bytes(plan: LayoutPlan | None) -> int:
+    """Upper bound on the extra heap bytes a plan needs (per spec: one
+    alignment gap per segment plus base alignment plus tail rounding)."""
+    if not plan:
+        return 0
+    return sum(
+        (len(spec.segments) + 2) * spec.align_bytes
+        for spec in plan.values()
+    )
+
+
 def alloc_array(
     layout: SharedHeapLayout, name: str, shape: ShapeLike,
     dtype: DTypeLike = "float32", page_align: bool = True,
+    plan: LayoutPlan | None = None,
 ) -> "SharedArray":
     """Allocate a typed shared array in ``layout`` (the single shared
     implementation behind :meth:`repro.core.treadmarks.TreadMarks.array`
     and the static analyzer's layout probe, so both resolve identical
-    heap addresses for the same ``setup()`` call sequence)."""
+    heap addresses for the same ``setup()`` call sequence).
+
+    When ``plan`` holds a :class:`PadSpec` for ``name``, the array is
+    laid out padded (see :class:`PaddedSharedArray`); all other arrays
+    allocate exactly as before."""
+    if plan and name in plan:
+        return alloc_padded_array(layout, name, shape, plan[name], dtype)
     shp = _as_shape(shape)
     dt = np.dtype(dtype)
     nbytes = int(np.prod(shp)) * dt.itemsize
     alloc = layout.malloc(name, nbytes, page_align=page_align)
     return SharedArray(alloc, shp, dt)
+
+
+def alloc_padded_array(
+    layout: SharedHeapLayout, name: str, shape: ShapeLike,
+    spec: PadSpec, dtype: DTypeLike = "float32",
+) -> "PaddedSharedArray":
+    """Allocate ``name`` with the segment padding described by ``spec``.
+
+    The allocation is oversized by one alignment quantum so the first
+    segment can start on an ``align_bytes`` boundary of the *heap*
+    regardless of where ``malloc`` placed the block."""
+    shp = _as_shape(shape)
+    dt = np.dtype(dtype)
+    size = int(np.prod(shp))
+    spec.validate(size)
+    wpe = dt.itemsize // WORD
+    align_words = spec.align_bytes // WORD
+    # Word offset of each segment relative to an aligned base.
+    rel: List[int] = []
+    cursor = 0
+    for _, count in spec.segments:
+        rel.append(cursor)
+        cursor += count * wpe
+        cursor = -(-cursor // align_words) * align_words
+    alloc = layout.malloc(
+        name, (cursor + align_words) * WORD, page_align=True
+    )
+    base_word = -(-alloc.word_offset // align_words) * align_words
+    return PaddedSharedArray(alloc, shp, dt, spec, base_word, rel)
 
 
 class SharedArray:
@@ -83,6 +174,18 @@ class SharedArray:
         if flat_index < 0 or flat_index > self.size:
             raise IndexError(f"flat index {flat_index} out of {self.size}")
         return self.alloc.word_offset + flat_index * self.words_per_elem
+
+    def word_runs(self, flat_index: int, nelems: int) -> List[Tuple[int, int]]:
+        """The contiguous heap word ranges covering elements
+        ``[flat_index, flat_index + nelems)``, as ``(word0, nwords)``
+        pairs in element order.  A plain array is one run; a padded
+        array may split at segment boundaries."""
+        if flat_index < 0 or flat_index + nelems > self.size:
+            raise IndexError(
+                f"run of {nelems} elements at flat {flat_index} exceeds "
+                f"size {self.size}"
+            )
+        return [(self.word_offset(flat_index), nelems * self.words_per_elem)]
 
     def _flatten(self, index: Index) -> int:
         """Flat element index of an (i, j, ...) tuple or int."""
@@ -249,4 +352,179 @@ class SharedArray:
         return (
             f"SharedArray({self.alloc.name!r}, shape={self.shape}, "
             f"dtype={self.dtype}, word_offset={self.alloc.word_offset})"
+        )
+
+
+class PaddedSharedArray(SharedArray):
+    """A shared array whose elements are remapped into aligned segments.
+
+    Same element API and data as :class:`SharedArray`; only the element
+    -> heap word mapping is piecewise.  Accesses that stay inside one
+    segment keep their single-range fast path (Barnes rows, Jacobi row
+    bands); accesses that straddle a boundary decompose into one shared
+    access per segment run, preserving element order so checksums are
+    bit-identical to the unpadded layout.
+    """
+
+    def __init__(
+        self, alloc: Allocation, shape: Tuple[int, ...], dtype: DTypeLike,
+        spec: PadSpec, base_word: int, rel_word0: Sequence[int],
+    ) -> None:
+        super().__init__(alloc, shape, dtype)
+        self.spec = spec
+        self._seg_elem0 = np.array(
+            [s for s, _ in spec.segments], dtype=np.int64
+        )
+        self._seg_count = np.array(
+            [c for _, c in spec.segments], dtype=np.int64
+        )
+        self._seg_word0 = base_word + np.asarray(rel_word0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Piecewise address arithmetic
+    # ------------------------------------------------------------------
+    def _seg_of(self, flat_index: int) -> int:
+        return int(
+            np.searchsorted(self._seg_elem0, flat_index, side="right") - 1
+        )
+
+    def word_offset(self, flat_index: int) -> int:
+        if flat_index < 0 or flat_index > self.size:
+            raise IndexError(f"flat index {flat_index} out of {self.size}")
+        if flat_index == self.size:
+            i = len(self.spec.segments) - 1
+        else:
+            i = self._seg_of(flat_index)
+        off = flat_index - int(self._seg_elem0[i])
+        return int(self._seg_word0[i]) + off * self.words_per_elem
+
+    def word_runs(self, flat_index: int, nelems: int) -> List[Tuple[int, int]]:
+        if flat_index < 0 or flat_index + nelems > self.size:
+            raise IndexError(
+                f"run of {nelems} elements at flat {flat_index} exceeds "
+                f"size {self.size}"
+            )
+        if nelems == 0:
+            return [(self.word_offset(flat_index), 0)]
+        runs: List[Tuple[int, int]] = []
+        wpe = self.words_per_elem
+        flat, left = flat_index, nelems
+        i = self._seg_of(flat)
+        while left > 0:
+            seg_end = int(self._seg_elem0[i]) + int(self._seg_count[i])
+            take = min(left, seg_end - flat)
+            w0 = (
+                int(self._seg_word0[i])
+                + (flat - int(self._seg_elem0[i])) * wpe
+            )
+            runs.append((w0, take * wpe))
+            flat += take
+            left -= take
+            i += 1
+        return runs
+
+    # ------------------------------------------------------------------
+    # Element / block access (the four primitives every other helper
+    # routes through)
+    # ------------------------------------------------------------------
+    def _read_flat(self, proc: Proc, flat: int, count: int) -> np.ndarray:
+        runs = self.word_runs(flat, count)
+        if len(runs) == 1:
+            return proc.read(runs[0][0], runs[0][1]).view(self.dtype)
+        raw = np.concatenate([proc.read(w0, nw) for w0, nw in runs])
+        return raw.view(self.dtype)
+
+    def _write_flat(
+        self, proc: Proc, flat: int, vals: np.ndarray
+    ) -> None:
+        words = vals.view(np.uint32)
+        pos = 0
+        for w0, nw in self.word_runs(flat, vals.size):
+            proc.write(w0, words[pos:pos + nw])
+            pos += nw
+
+    def read(self, proc: Proc, start: Index, count: int = 1) -> np.ndarray:
+        flat = start if isinstance(start, int) and len(self.shape) == 1 \
+            else self._flatten(start)
+        return self._read_flat(proc, flat, count)
+
+    def write(self, proc: Proc, start: Index, values: ArrayLike) -> None:
+        vals = np.ascontiguousarray(values, dtype=self.dtype).ravel()
+        flat = start if isinstance(start, int) and len(self.shape) == 1 \
+            else self._flatten(start)
+        self._write_flat(proc, flat, vals)
+
+    def _range_segments(
+        self, starts: np.ndarray, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Segment index of each range's first and last element."""
+        i0 = np.searchsorted(self._seg_elem0, starts, side="right") - 1
+        i1 = (
+            np.searchsorted(
+                self._seg_elem0, starts + count - 1, side="right"
+            )
+            - 1
+        )
+        return i0, i1
+
+    def gather(
+        self, proc: Proc, starts: ArrayLike, count: int = 1
+    ) -> np.ndarray:
+        s = np.ascontiguousarray(starts, dtype=np.int64)
+        if s.size and (
+            int(s.min()) < 0 or int(s.max()) + count > self.size
+        ):
+            raise IndexError(
+                f"gather of {count}-element ranges exceeds "
+                f"{self.alloc.name!r} size {self.size}"
+            )
+        wpe = self.words_per_elem
+        i0, i1 = self._range_segments(s, count)
+        if s.size and bool(np.all(i0 == i1)):
+            word_starts = (
+                self._seg_word0[i0] + (s - self._seg_elem0[i0]) * wpe
+            )
+            raw = proc.read_gather(word_starts, count * wpe)
+            return raw.view(self.dtype).reshape(s.shape[0], count)
+        out = np.empty((s.shape[0], count), dtype=self.dtype)
+        for k, flat in enumerate(s):
+            out[k] = self._read_flat(proc, int(flat), count)
+        return out
+
+    def scatter(
+        self, proc: Proc, starts: ArrayLike, values: ArrayLike
+    ) -> None:
+        s = np.ascontiguousarray(starts, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
+        if vals.ndim != 2 or vals.shape[0] != s.shape[0]:
+            raise ValueError(
+                f"scatter needs (nranges, count) values matching "
+                f"{s.shape[0]} starts, got shape {vals.shape}"
+            )
+        count = vals.shape[1]
+        if s.size and (
+            int(s.min()) < 0 or int(s.max()) + count > self.size
+        ):
+            raise IndexError(
+                f"scatter of {count}-element ranges exceeds "
+                f"{self.alloc.name!r} size {self.size}"
+            )
+        wpe = self.words_per_elem
+        i0, i1 = self._range_segments(s, count)
+        if s.size and bool(np.all(i0 == i1)):
+            word_starts = (
+                self._seg_word0[i0] + (s - self._seg_elem0[i0]) * wpe
+            )
+            proc.write_scatter(word_starts, vals.view(np.uint32))
+            return
+        for k, flat in enumerate(s):
+            self._write_flat(
+                proc, int(flat), np.ascontiguousarray(vals[k]).ravel()
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PaddedSharedArray({self.alloc.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, align={self.spec.align_bytes}, "
+            f"segments={len(self.spec.segments)})"
         )

@@ -10,7 +10,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.proc import Proc
-from repro.core.shared import DTypeLike, ShapeLike, SharedArray, alloc_array
+from repro.core.shared import (
+    DTypeLike,
+    LayoutPlan,
+    ShapeLike,
+    SharedArray,
+    alloc_array,
+)
 from repro.dsm.address_space import Allocation, SharedHeapLayout
 from repro.dsm.aggregation import make_aggregator
 from repro.dsm.intervals import IntervalStore
@@ -39,6 +45,7 @@ class TreadMarks:
         heap_bytes: int,
         app_name: str = "",
         dataset: str = "",
+        layout_plan: Optional[LayoutPlan] = None,
     ) -> None:
         config.validate()
         if config.dynamic and config.unit_pages != 1:
@@ -46,6 +53,11 @@ class TreadMarks:
         self.config = config
         self.app_name = app_name
         self.dataset = dataset
+        self.layout_plan = layout_plan
+        """Optional layout-advisor plan: arrays named in it allocate
+        padded (see :class:`repro.core.shared.PadSpec`); callers must
+        oversize ``heap_bytes`` by
+        :func:`repro.core.shared.plan_slack_bytes`."""
         self.layout = SharedHeapLayout(
             heap_bytes, config.page_size, config.unit_bytes
         )
@@ -112,7 +124,10 @@ class TreadMarks:
         page_align: bool = True,
     ) -> SharedArray:
         """Allocate a typed shared array in the heap."""
-        return alloc_array(self.layout, name, shape, dtype, page_align)
+        return alloc_array(
+            self.layout, name, shape, dtype, page_align,
+            plan=self.layout_plan,
+        )
 
     # ------------------------------------------------------------------
     # Execution

@@ -50,11 +50,12 @@ _GATE_NAMES = (
 )
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     if name in _GATE_NAMES:
         from repro.faults import gate
 
-        return getattr(gate, name)
+        value: object = getattr(gate, name)
+        return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -31,6 +31,7 @@ global state, so one ``(plan, msg_id)`` pair always yields the same
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -122,7 +123,10 @@ class ReliableChannel:
     failed: int = 0
     history: List[XmitPhase] = field(default_factory=list)
 
-    def transmit(self, msg_id: int, klass: str, spec: FaultSpec, rng) -> Delivery:
+    def transmit(
+        self, msg_id: int, klass: str, spec: FaultSpec,
+        rng: random.Random,
+    ) -> Delivery:
         """Resolve one message's delivery; raises
         :class:`DroppedMessageError` when the budget is exhausted."""
         plan = self.plan

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+from typing import Optional, Sequence
 
 from repro.bench import cache
 from repro.bench.golden import GOLDEN_DIR, GOLDEN_LABELS, SMALL_DATASETS
@@ -35,7 +36,7 @@ from repro.faults.gate import FAULT_FIELDS, INVARIANT_FIELDS, run_chaos
 from repro.faults.plan import FaultPlan
 
 
-def build_plan(args) -> FaultPlan:
+def build_plan(args: argparse.Namespace) -> FaultPlan:
     """The uniform plan described by the CLI fault knobs."""
     return FaultPlan.uniform(
         seed=args.seed,
@@ -73,7 +74,7 @@ def render_single(base: CaseResult, faulty: CaseResult) -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
         description="Fault-injection lab: faulty runs and the chaos gate.",

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.golden import (
     GOLDEN_DIR,
@@ -207,7 +207,7 @@ def run_chaos(
     labels: Sequence[str] = ("4K",),
     jobs: int = 1,
     golden_dir: pathlib.Path = GOLDEN_DIR,
-    progress=None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ChaosReport:
     """Run the chaos sweep and judge every cell against the baselines.
 
@@ -223,7 +223,7 @@ def run_chaos(
     failed = dict(sweep.failed)
 
     golden_dir = pathlib.Path(golden_dir)
-    goldens = {}
+    goldens: Dict[str, Optional[Dict[str, Any]]] = {}
     names = sorted(SMALL_DATASETS) if apps is None else list(apps)
     for app in names:
         goldens[app] = load_app_golden(golden_dir, app)

@@ -34,7 +34,7 @@ layer cannot change protocol outcomes, only their cost.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults.channel import Delivery, ReliableChannel
 from repro.faults.plan import FaultPlan, FaultSpec, message_rng
@@ -52,7 +52,7 @@ class FaultInjector:
         config: SimConfig,
         network: Network,
         stats: ProtocolStats,
-        trace=None,
+        trace: Optional[Any] = None,
     ) -> None:
         plan.validate(config.nprocs)
         self.plan = plan

@@ -31,7 +31,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Wildcard class label: a spec with this klass applies to every message
 #: class that has no class-specific spec of its own.
@@ -211,11 +211,11 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Serialization (carried in SimConfig.fault_plan)
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultPlan":
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
         data = dict(data)
         try:
             specs = tuple(FaultSpec(**s) for s in data.pop("specs", ()))

@@ -278,6 +278,67 @@ def write_chrome_trace(path, trace: TraceRecorder, label: str = "") -> dict:
     return doc
 
 
+def witness_chrome_trace(
+    nprocs: int,
+    steps: Sequence[dict],
+    violation: dict,
+    label: str = "",
+) -> dict:
+    """Chrome-trace document for a model-checker violation witness.
+
+    ``steps`` are the checker's step records (``{"i", "proc", "instr"}``
+    dicts, one per executed litmus instruction in schedule order);
+    ``violation`` is its violation record.  Each step becomes an "X"
+    slice on the executing processor's track at ``ts = 10 * i`` (the
+    witness is an interleaving, not a timing claim -- equal-width slices
+    keep the schedule readable), and the violating step gets an instant
+    marker.  The raw schedule rides along in ``otherData`` so the
+    witness file stays replayable by ``repro analyze modelcheck
+    --replay``.
+    """
+    out: List[dict] = _metadata(nprocs, label or "modelcheck witness")
+    bad_step = violation.get("step")
+    for step in steps:
+        i = step["i"]
+        instr = step["instr"]
+        name = " ".join(str(x) for x in instr)
+        args = {"i": i, "instr": list(instr)}
+        out.append(
+            _slice(name, "litmus", step["proc"], 10.0 * i, 8.0, args)
+        )
+        if bad_step == i:
+            out.append(
+                _instant(
+                    f"VIOLATION: {violation['kind']}",
+                    "violation",
+                    step["proc"],
+                    10.0 * i,
+                    dict(violation),
+                )
+            )
+    if bad_step is not None and bad_step >= len(steps):
+        # Terminal-state violation: anchor the marker after the last step
+        # on the reading processor's track.
+        out.append(
+            _instant(
+                f"VIOLATION: {violation['kind']}",
+                "violation",
+                violation.get("proc", 0),
+                10.0 * len(steps),
+                dict(violation),
+            )
+        )
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "nprocs": nprocs,
+            "schedule": [step["proc"] for step in steps],
+            "violation": dict(violation),
+        },
+    }
+
+
 def write_jsonl(path, events: Sequence[TraceEvent]) -> int:
     """Write one JSON object per event; returns the event count."""
     n = 0

@@ -127,7 +127,16 @@ def test_cli_lint_fixture_tree_fails_and_reports_json(tmp_path):
                 "--json", str(out))
     assert proc.returncode == 1
     data = json.loads(out.read_text())
-    assert data["files_checked"] == 4
-    rules = {f["rule"] for f in data["findings"]}
+    assert data["ok"] is False
+    section = data["sections"]["src"]
+    assert section["files_checked"] == 4
+    rules = {f["rule"] for f in section["findings"]}
     assert {"set-iter", "wall-clock", "global-random", "id-order",
             "golden-float"} <= rules
+
+
+def test_cli_lint_default_run_reports_both_sections():
+    proc = _cli("--lint")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "== src ==" in proc.stdout
+    assert "== helpers ==" in proc.stdout

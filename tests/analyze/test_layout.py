@@ -1,0 +1,150 @@
+"""Layout advisor: remedy generation for the two paper archetypes
+(block-partitioned Barnes bodies, halo-exchange Jacobi grid), remedy
+mechanics, and the committed traced-crosscheck baseline.
+
+The advisor runs are static (interval algebra over declared access
+patterns); the expensive traced padded runs are pinned by the committed
+``benchmarks/analyze/layout_crosscheck.json`` baseline, whose recorded
+numbers are sanity-checked here and re-verified by the CI gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.layout import (
+    CROSSCHECK_CELLS,
+    LayoutReport,
+    Remedy,
+    advise,
+    load_baseline,
+)
+from repro.core.shared import PadSpec
+
+
+@pytest.fixture(scope="module")
+def jacobi_report():
+    return advise("Jacobi", "1Kx1K", 8, unit_sizes=(8192,))
+
+
+@pytest.fixture(scope="module")
+def barnes_report():
+    return advise("Barnes", "16K", 8, unit_sizes=(4096,))
+
+
+def test_jacobi_hot_cold_split_removes_all_predicted_waste(jacobi_report):
+    rem = jacobi_report.best("grid", 8192, "hot-cold-split")
+    assert rem is not None
+    # Strictly positive predicted conflict-unit reduction...
+    assert rem.conflict_units_after < rem.conflict_units_before
+    # ...and for Jacobi's halo rows the split is total: no unit mixes
+    # hot and cold words any more, so the useless-data bound hits zero.
+    assert rem.useless_words_before > 0
+    assert rem.useless_words_after == 0
+    assert rem.useless_units_after == 0
+
+
+def test_barnes_pad_partition_removes_all_ww_units(barnes_report):
+    rem = barnes_report.best("bodies", 4096, "pad-partition")
+    assert rem is not None
+    assert rem.ww_units_before > 0
+    assert rem.ww_units_after == 0
+    assert rem.conflict_units_after < rem.conflict_units_before
+    # One unit-aligned segment per processor's contiguous body block.
+    assert len(rem.segments) == 8
+
+
+@pytest.mark.parametrize(
+    "report_fixture,array,unit_bytes",
+    [("jacobi_report", "grid", 8192), ("barnes_report", "bodies", 4096)],
+)
+def test_remedy_segments_tile_the_array(
+    request, report_fixture, array, unit_bytes
+):
+    rem = request.getfixturevalue(report_fixture).best(array, unit_bytes)
+    assert rem is not None
+    cursor = 0
+    for start, count in rem.segments:
+        assert start == cursor and count > 0
+        cursor += count
+    plan = rem.plan()
+    spec = plan[array]
+    assert isinstance(spec, PadSpec)
+    assert spec.align_bytes == unit_bytes
+    spec.validate(cursor)  # the tiling is a valid PadSpec of this size
+
+
+def test_advisory_remedy_carries_no_plan():
+    rem = Remedy(
+        kind="per-proc-blocking",
+        array="a",
+        unit_bytes=4096,
+        segments=(),
+        note="re-block the iteration space",
+        ww_units_before=3,
+        ww_units_after=3,
+        useless_words_before=0,
+        useless_words_after=0,
+        useless_units_before=0,
+        useless_units_after=0,
+    )
+    assert rem.advisory
+    with pytest.raises(ValueError):
+        rem.plan()
+    assert "re-block" in rem.render()
+
+
+def test_best_prefers_the_largest_conflict_reduction():
+    def remedy(kind, after):
+        return Remedy(
+            kind=kind,
+            array="a",
+            unit_bytes=4096,
+            segments=((0, 4), (4, 4)),
+            note="",
+            ww_units_before=4,
+            ww_units_after=after,
+            useless_words_before=0,
+            useless_words_after=0,
+            useless_units_before=0,
+            useless_units_after=0,
+        )
+
+    rep = LayoutReport(
+        app="x",
+        dataset="y",
+        nprocs=2,
+        remedies=[remedy("weak", 3), remedy("strong", 0)],
+    )
+    best = rep.best("a", 4096)
+    assert best is not None and best.kind == "strong"
+    assert rep.best("a", 4096, kind="weak").ww_units_after == 3
+    assert rep.best("a", 8192) is None
+
+
+def test_committed_crosscheck_baseline_is_consistent():
+    committed = load_baseline()
+    assert committed, "layout crosscheck baseline not committed"
+    keys = {
+        f"{app}/{dataset}/p8 {array} {kind} @{label}"
+        for app, dataset, label, array, kind, _ in CROSSCHECK_CELLS
+    }
+    assert keys == set(committed)
+    for key, rec in committed.items():
+        # Padding must never change results...
+        assert rec["checksum_equal"] is True, key
+        # ...and both the predicted and the observed conflict metric
+        # must have strictly dropped under the advisor's plan.
+        assert (
+            rec["predicted_conflict_units_after"]
+            < rec["predicted_conflict_units_before"]
+        ), key
+        if rec["metric"] == "ww-pages":
+            assert (
+                rec["observed_ww_pages_after"] < rec["observed_ww_pages_before"]
+            ), key
+        else:
+            assert (
+                rec["observed_useless_bytes_after"]
+                < rec["observed_useless_bytes_before"]
+            ), key

@@ -42,6 +42,10 @@ CASES = {
         "positive": "r.faults += n / 2\n",
         "negative": "r.faults += n // 2\n",
     },
+    "unordered-draw": {
+        "positive": "d = {1: 2}\nk, v = d.popitem()\n",
+        "negative": "d = {1: 2}\nv = d.pop(1)\n",
+    },
 }
 
 
@@ -107,3 +111,33 @@ def test_equality_of_ids_is_not_ordering():
 
 def test_float_into_non_golden_attr_ok():
     assert rules_fired("r.latency += n / 2\n") == []
+
+
+def test_set_pop_is_an_unordered_draw():
+    src = "s = {1, 2}\nx = s.pop()\n"
+    assert rules_fired(src) == [(2, "unordered-draw")]
+
+
+def test_list_pop_is_not_flagged():
+    assert rules_fired("items = [1, 2]\nx = items.pop()\n") == []
+
+
+def test_next_iter_over_set_is_an_unordered_draw():
+    # Both hazards are real: the draw is arbitrary (unordered-draw) and
+    # iter() over a set is unordered iteration (set-iter).
+    src = "s = {1, 2}\nx = next(iter(s))\n"
+    assert rules_fired(src) == [(2, "unordered-draw"), (2, "set-iter")]
+
+
+def test_next_iter_over_dict_keys_is_an_unordered_draw():
+    src = "x = next(iter(d.keys()))\n"
+    assert rules_fired(src) == [(1, "unordered-draw")]
+
+
+def test_next_iter_over_sorted_set_ok():
+    assert rules_fired("s = {1, 2}\nx = next(iter(sorted(s)))\n") == []
+
+
+def test_popitem_with_argument_is_not_flagged():
+    # OrderedDict.popitem(last=False) is an explicit, documented choice.
+    assert rules_fired("k, v = od.popitem(last=False)\n") == []

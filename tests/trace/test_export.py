@@ -61,7 +61,7 @@ def test_slices_cover_every_processor_with_valid_durations(traced_run):
         assert e["pid"] == SIM_PID
         assert e["dur"] >= 0.0
         assert e["ts"] >= 0.0
-    names = {e["name"] for e in slices}
+    names = sorted({e["name"] for e in slices})
     assert "run" in names
     assert any(n.startswith("barrier") for n in names)
     assert any(n.startswith("lock") for n in names)
